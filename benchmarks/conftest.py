@@ -1,0 +1,18 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation (§5, §6).  Runs are scaled down (fewer hosts, smaller flows)
+from the 64-server testbed, so absolute numbers differ from the paper; the
+*shape* — which scheme wins, by roughly what factor, and where behaviour
+changes — is asserted, and the series the paper plots are printed so they
+can be eyeballed against the original figures.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import print_table
+
+
+def report(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a small aligned table under a figure title."""
+    print_table(title, header, rows)

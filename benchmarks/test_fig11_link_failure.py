@@ -1,0 +1,104 @@
+"""Figure 11: impact of a link failure (the asymmetric topology, Fig. 7b).
+
+Paper shape: with one of the two Leaf1–Spine1 links down, the bisection
+toward Leaf 1 is 75% of nominal and ECMP — which keeps hashing half the
+Leaf0→Leaf1 traffic through Spine 1 — oversubscribes the surviving link once
+offered load passes ~50%, so its FCT deteriorates drastically.  The adaptive
+schemes shift traffic through Spine 0 and degrade gracefully; CONGA is best
+(up to ~30% better than MPTCP on enterprise, ~2× on data-mining at 70%
+load).  Part (c): the queue at the hotspot port [Spine1→Leaf1] is far
+smaller with CONGA (4× smaller 90th percentile than MPTCP in the paper).
+
+The run loads the Leaf0→Leaf1 direction (clients under Leaf 1), which is
+the direction that crosses the degraded link.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.apps import run_fct_experiment
+from repro.workloads import DATA_MINING, ENTERPRISE
+
+LOADS = [0.3, 0.5, 0.7]
+SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
+
+
+def _hotspot_ports(fabric):
+    spine1 = fabric.spines[1]
+    return [spine1.ports[i] for i in spine1.ports_to_leaf(1)]
+
+
+def _run():
+    fct = {}
+    for workload, scale, flows in (
+        (ENTERPRISE, 0.05, 200),
+        (DATA_MINING, 0.02, 150),
+    ):
+        for load in LOADS:
+            for scheme in SCHEMES:
+                result = run_fct_experiment(
+                    scheme,
+                    workload,
+                    load,
+                    num_flows=flows,
+                    size_scale=scale,
+                    seed=31,
+                    clients=list(range(8, 16)),
+                    failed_links=[(1, 1, 0)],
+                )
+                fct[(workload.name, scheme, load)] = result.summary.mean_normalized
+
+    queues = {}
+    for scheme in SCHEMES:
+        result = run_fct_experiment(
+            scheme,
+            DATA_MINING,
+            0.6,
+            num_flows=150,
+            size_scale=0.05,
+            seed=7,
+            clients=list(range(8, 16)),
+            failed_links=[(1, 1, 0)],
+            monitor_queue_ports=_hotspot_ports,
+        )
+        port = _hotspot_ports(result.fabric)[0]
+        series = np.array(result.queues.series(port))
+        queues[scheme] = {
+            "mean": float(series.mean()),
+            "p90": float(np.percentile(series, 90)),
+        }
+    return fct, queues
+
+
+def test_figure11_link_failure(benchmark):
+    fct, queues = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for workload in ("enterprise", "data-mining"):
+        report(
+            f"Figure 11: {workload} avg FCT with link failure (norm. to optimal)",
+            ["load"] + SCHEMES,
+            [
+                [load] + [fct[(workload, s, load)] for s in SCHEMES]
+                for load in LOADS
+            ],
+        )
+    report(
+        "Figure 11(c): hotspot [Spine1->Leaf1] queue occupancy, data-mining @60%",
+        ["scheme", "mean (KB)", "p90 (KB)"],
+        [
+            [s, queues[s]["mean"] / 1e3, queues[s]["p90"] / 1e3]
+            for s in SCHEMES
+        ],
+    )
+    for workload in ("enterprise", "data-mining"):
+        # ECMP's degradation beyond 50% load: the FCT gap vs CONGA widens
+        # sharply from 0.5 to 0.7 offered load.
+        gap_mid = fct[(workload, "ecmp", 0.5)] / fct[(workload, "conga", 0.5)]
+        gap_high = fct[(workload, "ecmp", 0.7)] / fct[(workload, "conga", 0.7)]
+        assert gap_high > 1.1
+        assert gap_high > gap_mid * 0.9
+        # CONGA best or tied at the highest load.
+        best = min(fct[(workload, s, 0.7)] for s in SCHEMES)
+        assert fct[(workload, "conga", 0.7)] <= best * 1.1
+    # Part (c): CONGA controls the hotspot queue better than ECMP and MPTCP.
+    assert queues["conga"]["mean"] < 0.5 * queues["ecmp"]["mean"]
+    assert queues["conga"]["p90"] <= queues["mptcp"]["p90"]

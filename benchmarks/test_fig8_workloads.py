@@ -1,0 +1,58 @@
+"""Figure 8: the empirical traffic distributions driving the evaluation.
+
+Prints the flow-size CDF and the byte-weighted CDF for the enterprise and
+data-mining workloads and checks the properties §5.2.1 calls out: in the
+enterprise workload ~50% of bytes come from flows smaller than 35 MB, while
+in data-mining those flows contribute only ~5% (95% of bytes belong to the
+~3.6% of flows larger than 35 MB).
+"""
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.workloads import DATA_MINING, ENTERPRISE
+
+
+def _run():
+    probes = np.logspace(2, 9, 15)
+    table = {}
+    for dist in (ENTERPRISE, DATA_MINING):
+        flow_cdf = []
+        byte_cdf = []
+        for probe in probes:
+            index = np.searchsorted([p[0] for p in dist.points], probe)
+            flow_fraction = (
+                dist.points[min(index, len(dist.points) - 1)][1]
+                if probe >= dist.points[0][0]
+                else 0.0
+            )
+            flow_cdf.append(flow_fraction)
+            byte_cdf.append(dist.byte_fraction_below(probe))
+        table[dist.name] = (flow_cdf, byte_cdf)
+    return probes, table
+
+
+def test_figure8_workload_distributions(benchmark):
+    probes, table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for name, (flow_cdf, byte_cdf) in table.items():
+        report(
+            f"Figure 8: {name} workload CDFs",
+            ["size (B)", "flows <= size", "bytes <= size"],
+            [
+                [f"{p:.0f}", f"{f:.2f}", f"{b:.2f}"]
+                for p, f, b in zip(probes, flow_cdf, byte_cdf)
+            ],
+        )
+    report(
+        "5.2.1: byte share of flows below 35 MB",
+        ["workload", "paper", "measured"],
+        [
+            ["enterprise", "~50%", f"{ENTERPRISE.byte_fraction_below(35e6):.0%}"],
+            ["data-mining", "~5%", f"{DATA_MINING.byte_fraction_below(35e6):.0%}"],
+        ],
+    )
+    assert ENTERPRISE.byte_fraction_below(35e6) == pytest.approx(0.5, abs=0.15)
+    assert DATA_MINING.byte_fraction_below(35e6) < 0.15
+    # Heavy tails: a small fraction of flows carries most bytes in both.
+    assert DATA_MINING.coefficient_of_variation() > ENTERPRISE.coefficient_of_variation() * 0.9

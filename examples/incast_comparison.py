@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Incast: why putting load balancing in the transport backfires (§5.3).
+
+Recreates the paper's Figure 13 micro-benchmark at a few fan-in levels: a
+client requests a 10 MB file striped across N servers that all answer at
+once.  CONGA+TCP keeps the client's access link busy; MPTCP's 8 subflows
+per response multiply the contending windows at the edge and collapse under
+jumbo frames with the default 200 ms minRTO.
+
+Run:  python examples/incast_comparison.py
+"""
+
+from repro.apps import IncastClient, mptcp_flow_factory, tcp_flow_factory
+from repro.lb import CongaSelector, EcmpSelector
+from repro.sim import Simulator
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.transport import TcpParams
+from repro.units import megabytes, milliseconds, seconds
+
+FAN_INS = [1, 7, 15, 31]
+
+
+def run_incast(transport: str, fan_in: int, mtu: int) -> float:
+    """Effective client throughput (percent of line rate) for one config."""
+    sim = Simulator(seed=1)
+    fabric = build_leaf_spine(
+        sim, scaled_testbed(hosts_per_leaf=16, host_queue_bytes=8_000_000)
+    )
+    selector = CongaSelector if transport == "tcp" else EcmpSelector
+    fabric.finalize(selector.factory())
+    params = TcpParams(
+        min_rto=milliseconds(200), initial_rto=milliseconds(200), mss=mtu - 40
+    )
+    factory = (
+        tcp_flow_factory(params)
+        if transport == "tcp"
+        else mptcp_flow_factory(params)
+    )
+    servers = [h for h in sorted(fabric.hosts) if h != 0][:fan_in]
+    client = IncastClient(
+        sim,
+        fabric,
+        client=0,
+        servers=servers,
+        flow_factory=factory,
+        request_bytes=megabytes(10),
+        repeats=3,
+    )
+    client.start()
+    sim.run(until=seconds(60))
+    if not client.finished:
+        return 0.0
+    return client.result.throughput_percent(fabric.host(0).nic.rate_bps)
+
+
+def main() -> None:
+    for mtu in (1500, 9000):
+        print(f"\nIncast effective throughput, MTU {mtu}, minRTO 200 ms:")
+        header = "  ".join(f"N={n:<3d}" for n in FAN_INS)
+        print(f"  {'transport':12s} {header}")
+        for transport, label in (("tcp", "CONGA+TCP"), ("mptcp", "MPTCP")):
+            values = [run_incast(transport, n, mtu) for n in FAN_INS]
+            cells = "  ".join(f"{v:4.0f}%" for v in values)
+            print(f"  {label:12s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Leaf-Spine fabric, run CONGA, inspect its state.
+
+Builds a scaled version of the paper's testbed (Figure 7a), runs a handful
+of TCP transfers across the fabric under CONGA, and prints flow completion
+times along with the CONGA machinery's internal state: per-uplink DRE
+metrics, the Congestion-To-Leaf table, and flowlet statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.lb import CongaSelector
+from repro.sim import Simulator, run_until_idle
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.transport import TcpFlow
+from repro.units import megabytes, to_microseconds
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+
+    # A 2-leaf / 2-spine fabric, 8 hosts per leaf, 2:1 oversubscription —
+    # the shape of the paper's 64-server testbed, scaled down.
+    config = scaled_testbed(hosts_per_leaf=8)
+    fabric = build_leaf_spine(sim, config)
+    fabric.finalize(CongaSelector.factory())
+    print(f"fabric: {len(fabric.leaves)} leaves x {len(fabric.spines)} spines, "
+          f"{len(fabric.hosts)} hosts, "
+          f"{config.uplinks_per_leaf} uplinks/leaf, "
+          f"{config.oversubscription:g}:1 oversubscribed")
+
+    # Start cross-rack transfers: hosts 0..3 (leaf 0) -> hosts 8..11 (leaf 1),
+    # staggered by 200 us so the DREs see earlier flows when placing later
+    # ones (simultaneous starts would be blind ties).
+    flows = []
+    for i in range(4):
+        flow = TcpFlow(sim, fabric.host(i), fabric.host(8 + i), megabytes(5))
+        sim.schedule(i * 200_000, flow.start)
+        flows.append(flow)
+
+    run_until_idle(sim)
+
+    print("\nflow completion times:")
+    for flow in flows:
+        ideal = fabric.ideal_fct(flow.sender.src, flow.sender.dst, flow.size)
+        print(f"  flow {flow.flow_id}: {to_microseconds(flow.fct):8.1f} us "
+              f"(ideal {to_microseconds(ideal):8.1f} us, "
+              f"normalized {flow.fct / ideal:.2f})")
+
+    leaf0 = fabric.leaves[0]
+    print("\nCONGA state at leaf 0:")
+    print(f"  local DRE metrics per uplink: "
+          f"{[dre.metric() for dre in leaf0.uplink_dres]}")
+    print(f"  Congestion-To-Leaf[leaf 1]:   "
+          f"{leaf0.to_leaf_table.metrics_toward(1)}")
+    selector = leaf0.selector
+    print(f"  flowlet decisions made:       {selector.decisions}")
+    print(f"  feedback packets received:    {leaf0.tep.feedback_received}")
+
+    print("\nper-uplink bytes at leaf 0 (the load CONGA balanced):")
+    for index, port in enumerate(leaf0.uplinks):
+        spine = leaf0.uplink_spine[index].name
+        print(f"  uplink {index} -> {spine}: {port.tx_bytes / 1e6:7.2f} MB")
+
+
+if __name__ == "__main__":
+    main()

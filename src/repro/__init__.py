@@ -1,0 +1,43 @@
+"""CONGA: distributed congestion-aware load balancing for datacenters.
+
+A from-scratch Python reproduction of Alizadeh et al., SIGCOMM 2014:
+a deterministic packet-level Leaf-Spine fabric simulator with CONGA's
+DREs, flowlet switching, and leaf-to-leaf congestion feedback; ECMP /
+CONGA-Flow / MPTCP baselines; the paper's workloads, benchmarks, and
+game-theoretic analysis.
+
+Quickstart::
+
+    from repro.sim import Simulator
+    from repro.topology import build_leaf_spine, scaled_testbed
+    from repro.lb import CongaSelector
+    from repro.transport import TcpFlow
+
+    sim = Simulator(seed=1)
+    fabric = build_leaf_spine(sim, scaled_testbed())
+    fabric.finalize(CongaSelector.factory())
+    flow = TcpFlow(sim, fabric.host(0), fabric.host(8), size=10_000_000)
+    flow.start()
+    sim.run()
+    print(flow.fct)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "fluid",
+    "lb",
+    "net",
+    "overlay",
+    "sim",
+    "switch",
+    "theory",
+    "topology",
+    "traces",
+    "transport",
+    "units",
+    "workloads",
+]

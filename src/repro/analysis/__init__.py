@@ -1,0 +1,28 @@
+"""Evaluation metrics: FCT statistics, throughput imbalance, queue monitors."""
+
+from repro.analysis.fct import (
+    FctSummary,
+    LARGE_FLOW_BYTES,
+    SMALL_FLOW_BYTES,
+    relative_to,
+)
+from repro.analysis.monitors import QueueMonitor, ThroughputImbalanceMonitor
+from repro.analysis.report import (
+    cdf_points,
+    print_table,
+    render_table,
+    summarize_series,
+)
+
+__all__ = [
+    "FctSummary",
+    "LARGE_FLOW_BYTES",
+    "QueueMonitor",
+    "SMALL_FLOW_BYTES",
+    "ThroughputImbalanceMonitor",
+    "cdf_points",
+    "print_table",
+    "relative_to",
+    "render_table",
+    "summarize_series",
+]

@@ -1,0 +1,89 @@
+"""Flow completion time statistics (the paper's primary metric, §5.2).
+
+The figures report three views per scheme and load level:
+
+* overall average FCT normalized to the idle-network optimum (Figs. 9a,
+  10a, 11a, 11b);
+* average FCT of small flows (< 100 KB) normalized to ECMP's value
+  (Figs. 9b, 10b);
+* average FCT of large flows (> 10 MB) normalized to ECMP's value
+  (Figs. 9c, 10c).
+
+:class:`FctSummary` computes the per-scheme aggregates; the cross-scheme
+ECMP normalization happens in the benchmark harnesses, which have all
+schemes' results in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.tcp import FlowRecord
+
+#: Paper's small-flow threshold (bytes).
+SMALL_FLOW_BYTES = 100_000
+
+#: Paper's large-flow threshold (bytes).
+LARGE_FLOW_BYTES = 10_000_000
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Aggregated FCT statistics for one experiment run."""
+
+    count: int
+    mean_normalized: float
+    p95_normalized: float
+    p99_normalized: float
+    mean_fct_small: float
+    mean_fct_large: float
+    count_small: int
+    count_large: int
+
+    @staticmethod
+    def from_records(
+        records: list[FlowRecord],
+        *,
+        small_threshold: int = SMALL_FLOW_BYTES,
+        large_threshold: int = LARGE_FLOW_BYTES,
+    ) -> "FctSummary":
+        """Summarize completed flow records.
+
+        ``mean_fct_small`` / ``mean_fct_large`` are *raw* mean FCTs in ticks
+        for the two buckets (NaN when the bucket is empty); callers divide by
+        a baseline scheme's bucket means to obtain the paper's relative
+        plots.
+        """
+        if not records:
+            raise ValueError("no completed flows to summarize")
+        normalized = np.array([r.normalized_fct for r in records])
+        small = np.array(
+            [r.fct for r in records if r.size < small_threshold], dtype=float
+        )
+        large = np.array(
+            [r.fct for r in records if r.size > large_threshold], dtype=float
+        )
+        return FctSummary(
+            count=len(records),
+            mean_normalized=float(normalized.mean()),
+            p95_normalized=float(np.percentile(normalized, 95)),
+            p99_normalized=float(np.percentile(normalized, 99)),
+            mean_fct_small=float(small.mean()) if small.size else float("nan"),
+            mean_fct_large=float(large.mean()) if large.size else float("nan"),
+            count_small=int(small.size),
+            count_large=int(large.size),
+        )
+
+
+def relative_to(value: float, baseline: float) -> float:
+    """``value / baseline`` with NaN propagation for empty buckets."""
+    if baseline != baseline or value != value:  # NaN check without numpy
+        return float("nan")
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return value / baseline
+
+
+__all__ = ["FctSummary", "LARGE_FLOW_BYTES", "SMALL_FLOW_BYTES", "relative_to"]

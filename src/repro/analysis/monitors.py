@@ -1,0 +1,139 @@
+"""Runtime monitors: uplink throughput imbalance and queue occupancy.
+
+Figure 12 measures load balancing efficiency directly as the *throughput
+imbalance* across a leaf's uplinks: synchronized 10 ms samples of per-uplink
+throughput, reporting ``(MAX − MIN) / AVG`` per sample.  Figure 11(c) and
+Figure 16 report queue-occupancy distributions at fabric ports.  Both
+monitors here sample on a periodic timer and expose the raw series so
+benchmarks can build CDFs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.net.port import Port
+from repro.sim.kernel import PeriodicTimer
+from repro.units import milliseconds
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+
+class ThroughputImbalanceMonitor:
+    """Samples (MAX−MIN)/AVG throughput across a port group (Fig. 12)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ports: list[Port],
+        interval: int = milliseconds(10),
+    ) -> None:
+        if len(ports) < 2:
+            raise ValueError("imbalance needs at least two ports")
+        self.sim = sim
+        self.ports = ports
+        self.interval = interval
+        self.samples: list[float] = []
+        self.sample_times: list[int] = []
+        self._last_bytes = [port.tx_bytes for port in ports]
+        self._timer = PeriodicTimer(sim, interval, self._sample, start=False)
+
+    def start(self) -> None:
+        """Begin sampling."""
+        self._last_bytes = [port.tx_bytes for port in self.ports]
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        current = [port.tx_bytes for port in self.ports]
+        deltas = [now - last for now, last in zip(current, self._last_bytes)]
+        self._last_bytes = current
+        total = sum(deltas)
+        if total <= 0:
+            return  # idle interval: no traffic to be imbalanced about
+        average = total / len(deltas)
+        imbalance = (max(deltas) - min(deltas)) / average
+        self.samples.append(imbalance)
+        self.sample_times.append(self.sim.now)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of recorded imbalance samples (percent)."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return float(np.percentile(np.array(self.samples) * 100.0, q))
+
+    def mean_percent(self) -> float:
+        """Mean imbalance in percent."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return float(np.mean(self.samples) * 100.0)
+
+    def samples_before(self, deadline: int) -> list[float]:
+        """Samples from windows that ended no later than ``deadline``.
+
+        Experiments use this to restrict the statistic to the loaded phase
+        of a run — the long drain tail after the last arrival contains
+        near-idle windows whose imbalance is meaningless.
+        """
+        return [
+            value
+            for value, when in zip(self.samples, self.sample_times)
+            if when <= deadline
+        ]
+
+
+class QueueMonitor:
+    """Periodically samples byte occupancy of a set of queues (Fig. 11c/16)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        ports: list[Port],
+        interval: int = milliseconds(1),
+    ) -> None:
+        if not ports:
+            raise ValueError("need at least one port to monitor")
+        self.sim = sim
+        self.ports = ports
+        self.interval = interval
+        self.samples: dict[str, list[int]] = {port.name: [] for port in ports}
+        self._timer = PeriodicTimer(sim, interval, self._sample, start=False)
+
+    def start(self) -> None:
+        """Begin sampling."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        for port in self.ports:
+            self.samples[port.name].append(port.queue.byte_occupancy)
+
+    def series(self, port: Port) -> list[int]:
+        """The recorded occupancy series for ``port``."""
+        return self.samples[port.name]
+
+    def percentile(self, port: Port, q: float) -> float:
+        """The ``q``-th percentile occupancy (bytes) at ``port``."""
+        series = self.samples[port.name]
+        if not series:
+            raise ValueError(f"no samples recorded for {port.name}")
+        return float(np.percentile(series, q))
+
+    def mean(self, port: Port) -> float:
+        """Mean occupancy (bytes) at ``port``."""
+        series = self.samples[port.name]
+        if not series:
+            raise ValueError(f"no samples recorded for {port.name}")
+        return float(np.mean(series))
+
+
+__all__ = ["QueueMonitor", "ThroughputImbalanceMonitor"]

@@ -1,0 +1,39 @@
+"""Applications and experiment harness: traffic generators, Incast, HDFS."""
+
+from repro.apps.experiment import (
+    ExperimentResult,
+    SCHEMES,
+    SchemeSpec,
+    compare_schemes,
+    run_fct_experiment,
+)
+from repro.apps.hdfs import HdfsJobResult, HdfsWriteJob
+from repro.apps.incast import IncastClient, IncastResult
+from repro.apps.traffic import (
+    CrossRackTraffic,
+    bursty_tcp_flow_factory,
+    dctcp_flow_factory,
+    FlowFactory,
+    TrafficStats,
+    mptcp_flow_factory,
+    tcp_flow_factory,
+)
+
+__all__ = [
+    "CrossRackTraffic",
+    "ExperimentResult",
+    "FlowFactory",
+    "HdfsJobResult",
+    "HdfsWriteJob",
+    "IncastClient",
+    "IncastResult",
+    "SCHEMES",
+    "SchemeSpec",
+    "TrafficStats",
+    "bursty_tcp_flow_factory",
+    "compare_schemes",
+    "dctcp_flow_factory",
+    "mptcp_flow_factory",
+    "run_fct_experiment",
+    "tcp_flow_factory",
+]

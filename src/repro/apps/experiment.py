@@ -1,0 +1,223 @@
+"""High-level experiment harness used by examples and benchmarks.
+
+Ties everything together: build a fabric, pick a scheme (which sets both the
+fabric's uplink selector and the end-host transport), drive it with the
+paper's workloads, and collect the evaluation's metrics.  The scheme
+definitions mirror §5's comparison set:
+
+* ``ecmp`` — static hashing, plain TCP;
+* ``conga`` — CONGA with the default 500 µs flowlet timeout, plain TCP;
+* ``conga-flow`` — CONGA with a 13 ms timeout (one decision per flow);
+* ``mptcp`` — ECMP in the fabric, MPTCP with 8 subflows at the hosts;
+* ``local`` — the local-congestion-aware strawman of §2.4;
+* ``spray`` — per-packet round-robin spraying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.fct import FctSummary
+from repro.analysis.monitors import QueueMonitor, ThroughputImbalanceMonitor
+from repro.apps.traffic import (
+    CrossRackTraffic,
+    FlowFactory,
+    mptcp_flow_factory,
+    tcp_flow_factory,
+)
+from repro.lb import (
+    CentralizedScheduler,
+    CentralizedSelector,
+    CongaFlowSelector,
+    CongaSelector,
+    EcmpSelector,
+    LocalAwareSelector,
+    PacketSpraySelector,
+)
+from repro.lb.base import SelectorFactory
+from repro.sim import Simulator
+from repro.switch.fabric import Fabric
+from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine, scaled_testbed
+from repro.transport.tcp import FlowRecord, TcpParams
+from repro.workloads.distributions import FlowSizeDistribution
+from repro.units import milliseconds, seconds
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A named (fabric selector, host transport) combination.
+
+    ``post_setup`` (optional) is invoked with (sim, fabric) after the
+    fabric is finalized — used by schemes that need a control-plane agent,
+    like the Hedera-style centralized scheduler.
+    """
+
+    name: str
+    make_selector: Callable[[], SelectorFactory]
+    make_flow_factory: Callable[[TcpParams], FlowFactory]
+    post_setup: Callable[[Simulator, Fabric], object] | None = None
+
+
+def _tcp(params: TcpParams) -> FlowFactory:
+    return tcp_flow_factory(params)
+
+
+def _mptcp(params: TcpParams) -> FlowFactory:
+    return mptcp_flow_factory(params)
+
+
+SCHEMES: dict[str, SchemeSpec] = {
+    "ecmp": SchemeSpec("ecmp", EcmpSelector.factory, _tcp),
+    "conga": SchemeSpec("conga", CongaSelector.factory, _tcp),
+    "conga-flow": SchemeSpec("conga-flow", CongaFlowSelector.factory, _tcp),
+    "mptcp": SchemeSpec("mptcp", EcmpSelector.factory, _mptcp),
+    "local": SchemeSpec("local", LocalAwareSelector.factory, _tcp),
+    "spray": SchemeSpec("spray", PacketSpraySelector.factory, _tcp),
+    "hedera": SchemeSpec(
+        "hedera",
+        lambda: CentralizedSelector,
+        _tcp,
+        post_setup=lambda sim, fabric: CentralizedScheduler(sim, fabric),
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs from one run."""
+
+    scheme: str
+    workload: str
+    load: float
+    records: list[FlowRecord]
+    arrivals: int
+    completed: int
+    sim: Simulator
+    fabric: Fabric
+    imbalance: ThroughputImbalanceMonitor | None = None
+    queues: QueueMonitor | None = None
+    _summary: FctSummary | None = field(default=None, repr=False)
+
+    @property
+    def summary(self) -> FctSummary:
+        """Lazily computed FCT summary over completed flows."""
+        if self._summary is None:
+            self._summary = FctSummary.from_records(self.records)
+        return self._summary
+
+    @property
+    def unfinished(self) -> int:
+        """Flows that arrived but did not finish before the deadline.
+
+        A large value at high load is itself a result: it is how the
+        paper's "network becomes unstable" regime (Fig. 11, ECMP past 50%
+        load with a failed link) shows up.
+        """
+        return self.arrivals - self.completed
+
+
+def run_fct_experiment(
+    scheme: str,
+    workload: FlowSizeDistribution,
+    load: float,
+    *,
+    config: LeafSpineConfig | None = None,
+    seed: int = 1,
+    num_flows: int = 400,
+    size_scale: float = 0.1,
+    clients: list[int] | None = None,
+    tcp_params: TcpParams = TcpParams(),
+    failed_links: list[tuple[int, int, int]] | None = None,
+    monitor_imbalance_leaf: int | None = None,
+    imbalance_interval: int | None = None,
+    monitor_queue_ports: Callable[[Fabric], list] | None = None,
+    deadline: int = seconds(20),
+) -> ExperimentResult:
+    """Run one (scheme, workload, load) point and return its results.
+
+    ``failed_links`` is a list of (leaf_id, spine_id, which) tuples failed
+    before traffic starts — e.g. ``[(1, 1, 0)]`` reproduces Figure 7(b).
+    ``monitor_imbalance_leaf`` attaches a Fig.-12-style monitor to that
+    leaf's uplinks.  ``monitor_queue_ports`` selects ports for occupancy
+    sampling (Fig. 11c / Fig. 16).
+    """
+    spec = SCHEMES.get(scheme)
+    if spec is None:
+        raise ValueError(f"unknown scheme {scheme!r}; have {sorted(SCHEMES)}")
+    if config is None:
+        config = scaled_testbed()
+    sim = Simulator(seed=seed)
+    fabric = build_leaf_spine(sim, config)
+    fabric.finalize(spec.make_selector())
+    if spec.post_setup is not None:
+        spec.post_setup(sim, fabric)
+    for leaf_id, spine_id, which in failed_links or []:
+        fabric.fail_link(leaf_id, spine_id, which)
+
+    imbalance = None
+    if monitor_imbalance_leaf is not None:
+        # Scaled-down runs are much shorter than the testbed's, so sample
+        # every 1 ms by default instead of the paper's 10 ms windows.
+        interval = imbalance_interval or milliseconds(1)
+        imbalance = ThroughputImbalanceMonitor(
+            sim, list(fabric.leaves[monitor_imbalance_leaf].uplinks), interval
+        )
+        imbalance.start()
+    queues = None
+    if monitor_queue_ports is not None:
+        queues = QueueMonitor(sim, monitor_queue_ports(fabric))
+        queues.start()
+
+    traffic = CrossRackTraffic(
+        sim,
+        fabric,
+        workload,
+        load,
+        flow_factory=spec.make_flow_factory(tcp_params),
+        num_flows=num_flows,
+        size_scale=size_scale,
+        clients=clients,
+        on_all_done=sim.stop,
+    )
+    traffic.start()
+    sim.run(until=deadline)
+
+    if imbalance is not None:
+        imbalance.stop()
+    if queues is not None:
+        queues.stop()
+    return ExperimentResult(
+        scheme=scheme,
+        workload=workload.name,
+        load=load,
+        records=traffic.stats.records,
+        arrivals=traffic.stats.arrivals,
+        completed=traffic.stats.completed,
+        sim=sim,
+        fabric=fabric,
+        imbalance=imbalance,
+        queues=queues,
+    )
+
+
+def compare_schemes(
+    schemes: list[str],
+    workload: FlowSizeDistribution,
+    load: float,
+    **kwargs,
+) -> dict[str, ExperimentResult]:
+    """Run several schemes on the identical scenario (same seed/workload)."""
+    return {
+        scheme: run_fct_experiment(scheme, workload, load, **kwargs)
+        for scheme in schemes
+    }
+
+
+__all__ = [
+    "ExperimentResult",
+    "SCHEMES",
+    "SchemeSpec",
+    "compare_schemes",
+    "run_fct_experiment",
+]

@@ -1,0 +1,118 @@
+"""Incast micro-benchmark (paper §5.3, Figure 13).
+
+A client repeatedly requests a file striped across ``fan_in`` servers; all
+servers respond with ``total_bytes / fan_in`` simultaneously, converging on
+the client's single access link.  The metric is the *effective throughput*:
+request size divided by the time until the slowest response finishes,
+expressed as a percentage of the client's line rate.
+
+The paper's finding: MPTCP's 8 subflows per response multiply the number of
+contending windows at the edge, collapsing throughput (to as little as 5%
+with jumbo frames and 200 ms minRTO), while CONGA+TCP stays high because it
+leaves TCP untouched.  The experiment "does not stress fabric load
+balancing" — the bottleneck is the edge — so the transport is the variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.apps.traffic import FlowFactory
+from repro.units import megabytes, to_seconds
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+    from repro.switch.fabric import Fabric
+
+
+@dataclass
+class IncastResult:
+    """Outcome of an Incast run."""
+
+    fan_in: int
+    request_bytes: int
+    request_durations: list[int] = field(default_factory=list)
+
+    @property
+    def mean_duration(self) -> float:
+        """Mean request completion time in ticks."""
+        if not self.request_durations:
+            raise ValueError("no completed requests")
+        return sum(self.request_durations) / len(self.request_durations)
+
+    def effective_throughput_bps(self) -> float:
+        """Mean goodput across requests, bits per second."""
+        return self.request_bytes * 8 / to_seconds(round(self.mean_duration))
+
+    def throughput_percent(self, line_rate_bps: int) -> float:
+        """Mean goodput as a percent of the client access line rate."""
+        return 100.0 * self.effective_throughput_bps() / line_rate_bps
+
+
+class IncastClient:
+    """Issues synchronized striped requests (the classic Incast pattern)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabric: "Fabric",
+        client: int,
+        servers: list[int],
+        *,
+        flow_factory: FlowFactory,
+        request_bytes: int = megabytes(10),
+        repeats: int = 5,
+        on_done: Callable[[IncastResult], None] | None = None,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        if client in servers:
+            raise ValueError("client cannot be one of its servers")
+        self.sim = sim
+        self.fabric = fabric
+        self.client = client
+        self.servers = list(servers)
+        self.flow_factory = flow_factory
+        self.request_bytes = request_bytes
+        self.repeats = repeats
+        self.on_done = on_done
+        self.result = IncastResult(fan_in=len(servers), request_bytes=request_bytes)
+        self._outstanding = 0
+        self._request_started_at = 0
+
+    def start(self) -> None:
+        """Issue the first request."""
+        self._issue_request()
+
+    def _issue_request(self) -> None:
+        self._request_started_at = self.sim.now
+        stripe = max(1, self.request_bytes // len(self.servers))
+        self._outstanding = len(self.servers)
+        client_host = self.fabric.host(self.client)
+        for server in self.servers:
+            flow = self.flow_factory(
+                self.fabric.host(server),
+                client_host,
+                stripe,
+                lambda f: self._stripe_done(),
+            )
+            flow.start()
+
+    def _stripe_done(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding > 0:
+            return
+        self.result.request_durations.append(self.sim.now - self._request_started_at)
+        if len(self.result.request_durations) < self.repeats:
+            self._issue_request()
+        elif self.on_done is not None:
+            self.on_done(self.result)
+
+    @property
+    def finished(self) -> bool:
+        """All requests completed."""
+        return len(self.result.request_durations) >= self.repeats
+
+
+__all__ = ["IncastClient", "IncastResult"]

@@ -1,0 +1,150 @@
+"""Command-line interface for quick experiments.
+
+Examples::
+
+    conga-repro fct --scheme conga --workload data-mining --load 0.6
+    conga-repro fct --scheme ecmp --load 0.6 --fail-link 1,1,0
+    conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
+    conga-repro poa
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import megabytes, milliseconds, seconds, to_milliseconds
+from repro.workloads import WORKLOADS
+
+
+def _cmd_fct(args: argparse.Namespace) -> int:
+    from repro.apps import run_fct_experiment
+
+    failed = []
+    for spec in args.fail_link or []:
+        leaf, spine, which = (int(x) for x in spec.split(","))
+        failed.append((leaf, spine, which))
+    result = run_fct_experiment(
+        args.scheme,
+        WORKLOADS[args.workload],
+        args.load,
+        num_flows=args.flows,
+        size_scale=args.size_scale,
+        seed=args.seed,
+        failed_links=failed,
+    )
+    summary = result.summary
+    print(f"scheme={args.scheme} workload={args.workload} load={args.load:g}")
+    print(f"  flows completed:        {result.completed}/{result.arrivals}")
+    print(f"  mean FCT (normalized):  {summary.mean_normalized:.2f}")
+    print(f"  p95  FCT (normalized):  {summary.p95_normalized:.2f}")
+    print(f"  p99  FCT (normalized):  {summary.p99_normalized:.2f}")
+    if summary.count_small:
+        print(f"  small flows (<100KB):   {summary.count_small} "
+              f"(mean FCT {to_milliseconds(round(summary.mean_fct_small)):.3f} ms)")
+    if summary.count_large:
+        print(f"  large flows (>10MB):    {summary.count_large} "
+              f"(mean FCT {to_milliseconds(round(summary.mean_fct_large)):.3f} ms)")
+    print(f"  fabric drops:           {result.fabric.total_fabric_drops()}")
+    return 0
+
+
+def _cmd_incast(args: argparse.Namespace) -> int:
+    from repro.apps import IncastClient, mptcp_flow_factory, tcp_flow_factory
+    from repro.lb import CongaSelector, EcmpSelector
+    from repro.sim import Simulator
+    from repro.topology import build_leaf_spine, scaled_testbed
+    from repro.transport import TcpParams
+
+    sim = Simulator(seed=args.seed)
+    fabric = build_leaf_spine(
+        sim, scaled_testbed(hosts_per_leaf=32, host_queue_bytes=8_000_000)
+    )
+    if args.transport == "tcp":
+        fabric.finalize(CongaSelector.factory())
+    else:
+        fabric.finalize(EcmpSelector.factory())
+    params = TcpParams(
+        min_rto=milliseconds(args.min_rto_ms),
+        initial_rto=milliseconds(max(args.min_rto_ms, 1)),
+        mss=args.mtu - 40,
+    )
+    factory = (
+        tcp_flow_factory(params)
+        if args.transport == "tcp"
+        else mptcp_flow_factory(params)
+    )
+    servers = [h for h in sorted(fabric.hosts) if h != 0][: args.fan_in]
+    client = IncastClient(
+        sim, fabric, client=0, servers=servers, flow_factory=factory,
+        request_bytes=megabytes(10), repeats=args.repeats,
+    )
+    client.start()
+    sim.run(until=seconds(120))
+    if not client.finished:
+        print("incast did not finish within the deadline (collapsed)")
+        return 1
+    percent = client.result.throughput_percent(fabric.host(0).nic.rate_bps)
+    print(f"transport={args.transport} fan_in={args.fan_in} "
+          f"minRTO={args.min_rto_ms}ms MTU={args.mtu}")
+    print(f"  effective throughput: {percent:.1f}% of line rate")
+    return 0
+
+
+def _cmd_poa(args: argparse.Namespace) -> int:
+    from repro.theory import figure17_gadget
+
+    game, nash = figure17_gadget()
+    print("Theorem 1 worst-case gadget (3 leaves x 3 spines, 6 unit demands)")
+    print(f"  Nash network bottleneck:    {game.network_bottleneck(nash):.3f}")
+    print(f"  optimal network bottleneck: {game.optimal_bottleneck():.3f}")
+    print(f"  Price of Anarchy:           {game.price_of_anarchy(nash):.3f}")
+    print(f"  flow is a Nash equilibrium: {game.is_nash(nash)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="conga-repro",
+        description="CONGA (SIGCOMM 2014) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fct = sub.add_parser("fct", help="run one FCT experiment point")
+    fct.add_argument("--scheme", default="conga",
+                     choices=["ecmp", "conga", "conga-flow", "mptcp", "local", "spray"])
+    fct.add_argument("--workload", default="enterprise", choices=sorted(WORKLOADS))
+    fct.add_argument("--load", type=float, default=0.6)
+    fct.add_argument("--flows", type=int, default=200)
+    fct.add_argument("--size-scale", type=float, default=0.05)
+    fct.add_argument("--seed", type=int, default=1)
+    fct.add_argument("--fail-link", action="append", metavar="LEAF,SPINE,WHICH",
+                     help="fail a leaf-spine link (repeatable)")
+    fct.set_defaults(func=_cmd_fct)
+
+    incast = sub.add_parser("incast", help="run an Incast micro-benchmark")
+    incast.add_argument("--transport", default="tcp", choices=["tcp", "mptcp"])
+    incast.add_argument("--fan-in", type=int, default=31)
+    incast.add_argument("--min-rto-ms", type=int, default=200)
+    incast.add_argument("--mtu", type=int, default=1500, choices=[1500, 9000])
+    incast.add_argument("--repeats", type=int, default=3)
+    incast.add_argument("--seed", type=int, default=1)
+    incast.set_defaults(func=_cmd_incast)
+
+    poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
+    poa.set_defaults(func=_cmd_poa)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

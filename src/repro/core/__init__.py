@@ -1,0 +1,17 @@
+"""CONGA core machinery: DRE, flowlet table, congestion tables, parameters."""
+
+from repro.core.dre import DRE
+from repro.core.flowlet import FlowletEntry, FlowletTable
+from repro.core.params import CONGA_FLOW_PARAMS, DEFAULT_PARAMS, CongaParams
+from repro.core.tables import CongestionFromLeafTable, CongestionToLeafTable
+
+__all__ = [
+    "CONGA_FLOW_PARAMS",
+    "CongestionFromLeafTable",
+    "CongestionToLeafTable",
+    "CongaParams",
+    "DEFAULT_PARAMS",
+    "DRE",
+    "FlowletEntry",
+    "FlowletTable",
+]

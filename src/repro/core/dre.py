@@ -1,0 +1,95 @@
+"""Discounting Rate Estimator (paper §3.2).
+
+The DRE measures the load of a link with a single register ``X``:
+``X += packet_bytes`` on every transmission, and every ``T_dre`` the register
+decays multiplicatively, ``X ← X · (1 − α)``.  In steady state
+``X ≈ R · τ`` where ``R`` is the traffic rate and ``τ = T_dre / α``, so
+``X / (C · τ)`` estimates link utilization.  The congestion metric exported
+to CONGA is that utilization quantized to ``Q`` bits.
+
+The decay is implemented lazily: instead of a periodic event per DRE (there
+is one DRE per fabric port, so eager timers would dominate the event heap),
+the register applies all decays elapsed since its last touch whenever it is
+read or incremented.  This is numerically identical to the hardware's
+periodic decay at each ``T_dre`` boundary.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.params import CongaParams, DEFAULT_PARAMS
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+
+class DRE:
+    """A discounting rate estimator for one link direction.
+
+    Parameters
+    ----------
+    sim:
+        Simulator supplying the clock.
+    link_rate_bps:
+        Line rate ``C`` of the measured link.
+    params:
+        CONGA parameter block (provides T_dre, τ, α, Q).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        link_rate_bps: int,
+        params: CongaParams = DEFAULT_PARAMS,
+    ) -> None:
+        if link_rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {link_rate_bps}")
+        self.sim = sim
+        self.link_rate_bps = link_rate_bps
+        self.params = params
+        self._register = 0.0
+        self._last_decay_tick = 0  # index of the last applied T_dre boundary
+        # X_full corresponds to a 100%-utilized link: C * tau (in bytes).
+        self._full_register = (
+            link_rate_bps * params.dre_time_constant / (8 * 1_000_000_000)
+        )
+
+    # -- register maintenance -------------------------------------------------
+
+    def _apply_decay(self) -> None:
+        tick = self.sim.now // self.params.dre_period
+        elapsed = tick - self._last_decay_tick
+        if elapsed > 0:
+            self._register *= (1.0 - self.params.alpha) ** elapsed
+            self._last_decay_tick = tick
+
+    def on_transmit(self, size_bytes: int) -> None:
+        """Account for ``size_bytes`` sent on the link (increment ``X``)."""
+        self._apply_decay()
+        self._register += size_bytes
+
+    # -- readings --------------------------------------------------------------
+
+    @property
+    def register(self) -> float:
+        """Current (decayed) register value ``X`` in bytes."""
+        self._apply_decay()
+        return self._register
+
+    def utilization(self) -> float:
+        """Estimated link utilization ``X / (C · τ)``; may exceed 1 in bursts."""
+        return self.register / self._full_register
+
+    def metric(self) -> int:
+        """Quantized congestion metric in ``[0, 2**Q - 1]`` (§3.2)."""
+        level = int(self.utilization() * self.params.metric_levels)
+        return min(level, self.params.max_metric)
+
+    def reset(self) -> None:
+        """Clear the register (used when re-configuring a link)."""
+        self._register = 0.0
+        self._last_decay_tick = self.sim.now // self.params.dre_period
+
+
+__all__ = ["DRE"]

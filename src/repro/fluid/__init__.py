@@ -1,0 +1,41 @@
+"""Flow-level (fluid) models: static rate analysis and dynamic simulation."""
+
+from repro.fluid.flowsim import (
+    ActiveFlow,
+    CompletedFlow,
+    FlowLevelFabric,
+    FlowLevelSimulation,
+    max_min_rates,
+    run_flow_level,
+)
+from repro.fluid.model import (
+    FluidAllocation,
+    FluidDemand,
+    FluidLeafSpine,
+    FluidLink,
+    conga_split,
+    ecmp_split,
+    figure2_demand,
+    figure2_network,
+    figure3_network,
+    local_aware_split,
+)
+
+__all__ = [
+    "ActiveFlow",
+    "CompletedFlow",
+    "FlowLevelFabric",
+    "FlowLevelSimulation",
+    "FluidAllocation",
+    "max_min_rates",
+    "run_flow_level",
+    "FluidDemand",
+    "FluidLeafSpine",
+    "FluidLink",
+    "conga_split",
+    "ecmp_split",
+    "figure2_demand",
+    "figure2_network",
+    "figure3_network",
+    "local_aware_split",
+]

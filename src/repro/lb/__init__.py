@@ -1,0 +1,25 @@
+"""Load balancing schemes: ECMP, CONGA, CONGA-Flow, local-only, spraying."""
+
+from repro.lb.base import SelectorFactory, UplinkSelector
+from repro.lb.centralized import CentralizedScheduler, CentralizedSelector
+from repro.lb.conga import CongaFlowSelector, CongaSelector, LocalAwareSelector
+from repro.lb.ecmp import (
+    EcmpSelector,
+    PacketSpraySelector,
+    WeightedRandomSelector,
+    ecmp_hash,
+)
+
+__all__ = [
+    "CentralizedScheduler",
+    "CentralizedSelector",
+    "CongaFlowSelector",
+    "CongaSelector",
+    "EcmpSelector",
+    "LocalAwareSelector",
+    "PacketSpraySelector",
+    "SelectorFactory",
+    "UplinkSelector",
+    "WeightedRandomSelector",
+    "ecmp_hash",
+]

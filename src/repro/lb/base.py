@@ -1,0 +1,46 @@
+"""Uplink-selection policy interface for leaf switches.
+
+A leaf switch delegates the *choice of uplink* for each fabric-bound packet
+to an :class:`UplinkSelector`.  Everything else — overlay encapsulation, CE
+marking, leaf-to-leaf feedback — is common plumbing in
+:class:`repro.switch.leaf.LeafSwitch` and runs regardless of the policy, so
+schemes differ only in this one decision, exactly as in Figure 1's design
+tree.
+
+Selectors are created per leaf via a :class:`SelectorFactory` so that an
+experiment config can say "all leaves run CONGA with these parameters".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.switch.leaf import LeafSwitch
+
+SelectorFactory = Callable[["LeafSwitch"], "UplinkSelector"]
+
+
+class UplinkSelector(ABC):
+    """Chooses the uplink (LBTag) for each packet entering the fabric."""
+
+    #: Human-readable scheme name used in results tables.
+    name = "base"
+
+    def __init__(self, leaf: "LeafSwitch") -> None:
+        self.leaf = leaf
+
+    @abstractmethod
+    def choose_uplink(self, packet: Packet, dst_leaf: int, candidates: list[int]) -> int:
+        """Return the uplink index to carry ``packet`` toward ``dst_leaf``.
+
+        ``candidates`` is the non-empty list of uplink indices that are
+        currently up and can reach ``dst_leaf``; the returned value must be
+        one of them.
+        """
+
+
+__all__ = ["SelectorFactory", "UplinkSelector"]

@@ -1,0 +1,120 @@
+"""CONGA and related congestion-aware uplink selectors.
+
+:class:`CongaSelector` is the paper's mechanism (§3.5): on the first packet
+of each flowlet, pick the uplink minimizing ``max(local DRE metric,
+remote Congestion-To-Leaf metric)``; among ties prefer the uplink cached in
+the (expired) flowlet entry so a flow only moves when a strictly better path
+exists, otherwise pick uniformly at random.  Subsequent packets of an active
+flowlet reuse the cached uplink.
+
+:class:`CongaFlowSelector` is CONGA-Flow from §5: identical logic with a
+flowlet timeout larger than any path latency, i.e. one congestion-aware
+decision per flow.
+
+:class:`LocalAwareSelector` is the strawman of §2.4 (Flare/LocalFlow-style):
+flowlet switching driven by *local* DRE metrics only.  With asymmetry it is
+provably worse than ECMP because TCP's control loop makes the uplink feeding
+the slow path look idle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.flowlet import FlowletTable
+from repro.core.params import CONGA_FLOW_PARAMS, CongaParams, DEFAULT_PARAMS
+from repro.lb.base import SelectorFactory, UplinkSelector
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.switch.leaf import LeafSwitch
+
+
+class CongaSelector(UplinkSelector):
+    """The CONGA decision logic of §3.5 (flowlets + global congestion)."""
+
+    name = "conga"
+
+    def __init__(self, leaf: "LeafSwitch", params: CongaParams = DEFAULT_PARAMS) -> None:
+        super().__init__(leaf)
+        self.params = params
+        self.flowlets = FlowletTable(leaf.sim, params)
+        self._rng = leaf.sim.rng(f"conga-{leaf.leaf_id}")
+        self.decisions = 0
+
+    def path_metric(self, dst_leaf: int, uplink: int) -> int:
+        """max(local congestion on ``uplink``, remote metric of its paths)."""
+        local = self.leaf.local_metric(uplink)
+        remote = self.leaf.to_leaf_table.metric(dst_leaf, uplink)
+        return max(local, remote)
+
+    def choose_uplink(self, packet: Packet, dst_leaf: int, candidates: list[int]) -> int:
+        entry = self.flowlets.lookup(packet.five_tuple)
+        if entry.valid and entry.port in candidates:
+            return entry.port
+        choice = self._decide(dst_leaf, candidates, previous=entry.port)
+        self.flowlets.install(entry, choice)
+        self.decisions += 1
+        return choice
+
+    def _decide(self, dst_leaf: int, candidates: list[int], previous: int) -> int:
+        metrics = [self.path_metric(dst_leaf, uplink) for uplink in candidates]
+        best = min(metrics)
+        ties = [u for u, m in zip(candidates, metrics) if m == best]
+        if previous in ties:
+            # §3.5: a flow only moves if a strictly better uplink exists.
+            return previous
+        return ties[int(self._rng.integers(len(ties)))]
+
+    @classmethod
+    def factory(cls, params: CongaParams = DEFAULT_PARAMS) -> SelectorFactory:
+        """Factory binding a CONGA parameter block."""
+        return lambda leaf: cls(leaf, params)
+
+
+class CongaFlowSelector(CongaSelector):
+    """CONGA-Flow (§5): one congestion-aware decision per flow."""
+
+    name = "conga-flow"
+
+    def __init__(self, leaf: "LeafSwitch", params: CongaParams = CONGA_FLOW_PARAMS) -> None:
+        super().__init__(leaf, params)
+
+    @classmethod
+    def factory(cls, params: CongaParams = CONGA_FLOW_PARAMS) -> SelectorFactory:
+        """Factory binding the CONGA-Flow parameter block."""
+        return lambda leaf: cls(leaf, params)
+
+
+class LocalAwareSelector(UplinkSelector):
+    """Flowlet switching on *local* uplink congestion only (§2.4 strawman)."""
+
+    name = "local"
+
+    def __init__(self, leaf: "LeafSwitch", params: CongaParams = DEFAULT_PARAMS) -> None:
+        super().__init__(leaf)
+        self.params = params
+        self.flowlets = FlowletTable(leaf.sim, params)
+        self._rng = leaf.sim.rng(f"local-{leaf.leaf_id}")
+
+    def choose_uplink(self, packet: Packet, dst_leaf: int, candidates: list[int]) -> int:
+        entry = self.flowlets.lookup(packet.five_tuple)
+        if entry.valid and entry.port in candidates:
+            return entry.port
+        metrics = [self.leaf.local_metric(uplink) for uplink in candidates]
+        best = min(metrics)
+        ties = [u for u, m in zip(candidates, metrics) if m == best]
+        if entry.port in ties:
+            choice = entry.port
+        else:
+            choice = ties[int(self._rng.integers(len(ties)))]
+        self.flowlets.install(entry, choice)
+        return choice
+
+    @classmethod
+    def factory(cls, params: CongaParams = DEFAULT_PARAMS) -> SelectorFactory:
+        """Factory binding a parameter block."""
+        return lambda leaf: cls(leaf, params)
+
+
+__all__ = ["CongaFlowSelector", "CongaSelector", "LocalAwareSelector"]

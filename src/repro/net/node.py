@@ -1,0 +1,105 @@
+"""Node base class and the host (server) model.
+
+A :class:`Node` is anything with ports: hosts, leaf switches, spine switches.
+A :class:`Host` is a server with a single NIC; transport endpoints (TCP
+connections, UDP sinks) register themselves against flow ids and receive the
+packets addressed to them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """Base class for all network elements."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: list[Port] = []
+
+    def add_port(
+        self,
+        rate_bps: int,
+        queue_capacity: int | None = None,
+        name: str | None = None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create, register, and return a new port on this node."""
+        port = Port(
+            self.sim,
+            self,
+            index=len(self.ports),
+            rate_bps=rate_bps,
+            queue_capacity=queue_capacity,
+            name=name,
+            ecn_threshold=ecn_threshold,
+        )
+        self.ports.append(port)
+        return port
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        """Handle a packet arriving on ``port``; subclasses must override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Host(Node):
+    """A server with one NIC.
+
+    Transport endpoints register per-flow handlers with :meth:`bind`.  The
+    host delivers each arriving packet to the handler bound to its flow id;
+    packets with no handler are counted and discarded (they correspond to
+    segments arriving after an endpoint has closed).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host_id: int,
+        nic_rate_bps: int,
+        name: str | None = None,
+        nic_queue_capacity: int | None = None,
+    ) -> None:
+        super().__init__(sim, name or f"host{host_id}")
+        self.host_id = host_id
+        self.nic = self.add_port(
+            nic_rate_bps, queue_capacity=nic_queue_capacity, name=f"{self.name}.nic"
+        )
+        self._handlers: dict[int, PacketHandler] = {}
+        self.undelivered_packets = 0
+
+    def bind(self, flow_id: int, handler: PacketHandler) -> None:
+        """Register ``handler`` to receive packets of ``flow_id``."""
+        if flow_id in self._handlers:
+            raise ValueError(f"flow {flow_id} already bound on {self.name}")
+        self._handlers[flow_id] = handler
+
+    def unbind(self, flow_id: int) -> None:
+        """Remove the handler for ``flow_id`` if present."""
+        self._handlers.pop(flow_id, None)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a packet out the NIC."""
+        return self.nic.send(packet)
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        handler = self._handlers.get(packet.flow_id)
+        if handler is None:
+            self.undelivered_packets += 1
+            return
+        handler(packet)
+
+
+__all__ = ["Host", "Node", "PacketHandler"]

@@ -1,0 +1,170 @@
+"""Full-duplex ports and the links between them.
+
+A :class:`Port` owns the egress side of one link direction: a drop-tail
+queue feeding a store-and-forward transmitter at the port's line rate.  Two
+ports are joined with :func:`connect`, which makes each the other's ``peer``;
+a packet finishing transmission at one port propagates (after the link's
+propagation delay) to the peer port and is handed to the peer's node via
+``node.receive(packet, port)``.
+
+Link failures (the asymmetry scenarios of Figs. 7(b), 11, 14, 16) are
+injected by :meth:`Port.fail`, which silently discards traffic in both
+directions, exactly like a cut cable.  The per-port ``on_transmit`` hook list
+is where CONGA's DREs attach (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.units import transmission_time
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim import Simulator
+
+#: Default per-port buffering: shallow datacenter switch buffers (§2.1).
+DEFAULT_QUEUE_CAPACITY = 10_000_000
+
+#: Default one-way propagation delay for intra-datacenter cables (~100 m).
+DEFAULT_PROPAGATION_DELAY = 500  # nanoseconds
+
+
+class Port:
+    """One endpoint of a full-duplex link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this port schedules on.
+    node:
+        Owning node; inbound packets are delivered to ``node.receive``.
+    index:
+        Port number local to the node (CONGA's LBTag is such an index).
+    rate_bps:
+        Egress line rate in bits per second.
+    queue_capacity:
+        Egress buffer size in bytes (None = unbounded, for host NICs whose
+        senders are window-limited).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        index: int,
+        rate_bps: int,
+        queue_capacity: int | None = DEFAULT_QUEUE_CAPACITY,
+        name: str | None = None,
+        ecn_threshold: int | None = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.node = node
+        self.index = index
+        self.rate_bps = rate_bps
+        self.queue = DropTailQueue(queue_capacity, ecn_threshold_bytes=ecn_threshold)
+        self.name = name or f"{node.name}[{index}]"
+        self.peer: Port | None = None
+        self.propagation_delay = DEFAULT_PROPAGATION_DELAY
+        self.up = True
+        self._transmitting = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.busy_time = 0
+        #: Callbacks fired with each packet at transmission start (DRE hook).
+        self.on_transmit: list[Callable[[Packet], None]] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """Whether this port has a peer at the other end of a cable."""
+        return self.peer is not None
+
+    def fail(self) -> None:
+        """Take the link down in both directions (cut-cable semantics)."""
+        self.up = False
+        if self.peer is not None:
+            self.peer.up = False
+
+    def restore(self) -> None:
+        """Bring a failed link back up in both directions."""
+        self.up = True
+        if self.peer is not None:
+            self.peer.up = True
+
+    # -- egress ---------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; returns False if it was dropped."""
+        if not self.up or self.peer is None:
+            # A down link drops silently; upper layers recover via timeouts.
+            self.queue.stats.dropped_packets += 1
+            self.queue.stats.dropped_bytes += packet.size
+            return False
+        if not self.queue.offer(packet):
+            return False
+        if not self._transmitting:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        for hook in self.on_transmit:
+            hook(packet)
+        serialization = transmission_time(packet.size, self.rate_bps)
+        self.busy_time += serialization
+        self.sim.schedule(serialization, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        peer = self.peer
+        if peer is not None and self.up:
+            self.sim.schedule(
+                self.propagation_delay, lambda p=packet: peer._arrive(p)
+            )
+        self._transmit_next()
+
+    # -- ingress --------------------------------------------------------------
+
+    def _arrive(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        packet.hops += 1
+        self.node.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name}, {self.rate_bps / 1e9:g}Gbps, up={self.up})"
+
+
+def connect(
+    a: Port,
+    b: Port,
+    propagation_delay: int = DEFAULT_PROPAGATION_DELAY,
+) -> None:
+    """Join two ports with a full-duplex cable."""
+    if a.peer is not None or b.peer is not None:
+        raise ValueError(f"port already connected: {a if a.peer else b}")
+    a.peer = b
+    b.peer = a
+    a.propagation_delay = propagation_delay
+    b.propagation_delay = propagation_delay
+
+
+__all__ = [
+    "DEFAULT_PROPAGATION_DELAY",
+    "DEFAULT_QUEUE_CAPACITY",
+    "Port",
+    "connect",
+]

@@ -1,0 +1,5 @@
+"""VXLAN-style overlay: tunnel endpoints carrying CONGA congestion state."""
+
+from repro.overlay.vxlan import TunnelEndpoint, VXLAN_OVERHEAD
+
+__all__ = ["TunnelEndpoint", "VXLAN_OVERHEAD"]

@@ -1,0 +1,94 @@
+"""VXLAN-style overlay tunnel endpoint logic (paper §2.5, §3.1, §3.3).
+
+Each leaf switch is a tunnel endpoint (TEP).  On the way into the fabric the
+source TEP encapsulates packets with an :class:`~repro.net.packet.OverlayHeader`
+that carries CONGA's four fields; on the way out the destination TEP consumes
+the header.  This module centralizes that logic so the feedback protocol can
+be unit-tested without instantiating switches:
+
+* :meth:`TunnelEndpoint.encapsulate` stamps ``(lbtag, ce=0)`` for the forward
+  path and opportunistically piggybacks one ``(fb_lbtag, fb_metric)`` pair
+  from the Congestion-From-Leaf table (§3.3 step 4);
+* :meth:`TunnelEndpoint.decapsulate` records the arriving CE into the
+  Congestion-From-Leaf table (step 3) and feeds piggybacked metrics into the
+  Congestion-To-Leaf table (step 5).
+
+The ASIC's VXLAN header grows by 46 bytes on the wire; we account for that
+in packet size so fabric serialization is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.core.tables import CongestionFromLeafTable, CongestionToLeafTable
+from repro.net.packet import OverlayHeader, Packet
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+#: VXLAN + outer IP/UDP/Ethernet encapsulation overhead, bytes.
+VXLAN_OVERHEAD = 46
+
+
+class TunnelEndpoint:
+    """Overlay TEP state for one leaf switch."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        leaf_id: int,
+        num_uplinks: int,
+        params: CongaParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.sim = sim
+        self.leaf_id = leaf_id
+        self.num_uplinks = num_uplinks
+        self.params = params
+        self.to_leaf_table = CongestionToLeafTable(sim, num_uplinks, params)
+        self.from_leaf_table = CongestionFromLeafTable(num_uplinks)
+        self.encapsulated = 0
+        self.decapsulated = 0
+        self.feedback_sent = 0
+        self.feedback_received = 0
+
+    def encapsulate(self, packet: Packet, dst_leaf: int, lbtag: int) -> None:
+        """Attach the overlay header for a packet entering the fabric."""
+        if packet.overlay is not None:
+            raise ValueError(f"packet already encapsulated: {packet!r}")
+        header = OverlayHeader(src_leaf=self.leaf_id, dst_leaf=dst_leaf, lbtag=lbtag)
+        feedback = self.from_leaf_table.select_feedback(dst_leaf)
+        if feedback is not None:
+            header.fb_lbtag, header.fb_metric = feedback
+            header.fb_valid = True
+            self.feedback_sent += 1
+        packet.overlay = header
+        packet.size += VXLAN_OVERHEAD
+        self.encapsulated += 1
+
+    def decapsulate(self, packet: Packet) -> OverlayHeader:
+        """Consume the overlay header of a packet leaving the fabric.
+
+        Records the forward-path CE into the Congestion-From-Leaf table and
+        applies any piggybacked feedback to the Congestion-To-Leaf table.
+        Returns the removed header (useful for instrumentation).
+        """
+        header = packet.overlay
+        if header is None:
+            raise ValueError(f"packet is not encapsulated: {packet!r}")
+        if header.dst_leaf != self.leaf_id:
+            raise ValueError(
+                f"packet for leaf {header.dst_leaf} decapsulated at leaf {self.leaf_id}"
+            )
+        self.from_leaf_table.record(header.src_leaf, header.lbtag, header.ce)
+        if header.fb_valid:
+            self.to_leaf_table.update(header.src_leaf, header.fb_lbtag, header.fb_metric)
+            self.feedback_received += 1
+        packet.overlay = None
+        packet.size -= VXLAN_OVERHEAD
+        self.decapsulated += 1
+        return header
+
+
+__all__ = ["TunnelEndpoint", "VXLAN_OVERHEAD"]

@@ -1,0 +1,19 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from repro.sim.kernel import (
+    Callback,
+    PeriodicTimer,
+    SimulationError,
+    Simulator,
+    Timer,
+    run_until_idle,
+)
+
+__all__ = [
+    "Callback",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "run_until_idle",
+]

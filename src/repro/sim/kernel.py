@@ -1,0 +1,271 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic calendar built on a binary heap.  Events are callbacks
+scheduled at an integer-nanosecond timestamp; ties are broken by insertion
+order so that runs are fully deterministic.  Components interact with the
+kernel through :class:`Simulator` (``now``, ``schedule``, ``run``) and through
+:class:`Timer` for restartable timeouts (retransmission timers, flowlet age
+scans, DRE decay, ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.units import SECOND
+
+Callback = Callable[[], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling errors such as events in the past."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the experiment.  Every component obtains its own
+        independent, named substream via :meth:`rng`, so adding a new
+        stochastic component never perturbs the draws of existing ones.
+    """
+
+    def __init__(self, seed: int = 1) -> None:
+        self._heap: list[_Event] = []
+        self._now = 0
+        self._sequence = 0
+        self._seed = seed
+        self._rngs: dict[str, np.random.Generator] = {}
+        self._stopped = False
+        self.events_executed = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer nanoseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in float seconds (for reporting only)."""
+        return self._now / SECOND
+
+    # -- randomness ---------------------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        """The master seed this simulator was constructed with."""
+        return self._seed
+
+    def rng(self, stream: str) -> np.random.Generator:
+        """Return the named deterministic random stream for ``stream``.
+
+        Repeated calls with the same name return the same generator, so a
+        component can call ``sim.rng("ecmp")`` wherever convenient.
+        """
+        generator = self._rngs.get(stream)
+        if generator is None:
+            from repro.net.hashing import stable_string_seed
+
+            seed_seq = np.random.SeedSequence((self._seed, stable_string_seed(stream)))
+            generator = np.random.default_rng(seed_seq)
+            self._rngs[stream] = generator
+        return generator
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callback) -> _Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callback) -> _Event:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = _Event(time, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a pending event (lazy deletion)."""
+        event.cancelled = True
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run until the event heap drains, ``until`` is reached, or stopped.
+
+        Returns the simulation time at exit.  ``until`` is an absolute time;
+        when it is hit the clock is advanced exactly to it so that subsequent
+        ``run`` calls resume cleanly.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.callback()
+            executed += 1
+            self.events_executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and not self._heap and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` loop after the executing event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._heap)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Typical uses: TCP retransmission timers, CONGA metric-aging scans, and
+    DRE decay ticks (via :meth:`PeriodicTimer`-style rescheduling in the
+    callback).  ``start`` on a running timer restarts it.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callback) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: _Event | None = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer currently has a pending expiry."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self) -> int | None:
+        """Absolute expiry time, or None if not running."""
+        if self.running:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: int) -> None:
+        """(Re)arm the timer to fire ``delay`` ticks from now."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is running."""
+        if self._event is not None:
+            Simulator.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period`` ticks until stopped.
+
+    Used for DRE multiplicative decay and the flowlet-table age-bit scan,
+    both of which the CONGA ASIC implements as free-running hardware timers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        callback: Callback,
+        *,
+        start: bool = True,
+        jitter_stream: str | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._event: _Event | None = None
+        self._jitter_stream = jitter_stream
+        if start:
+            self.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether the periodic timer is active."""
+        return self._event is not None
+
+    def start(self) -> None:
+        """Start ticking; the first tick occurs one period from now."""
+        if self._event is None:
+            self._event = self._sim.schedule(self._next_delay(), self._fire)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        if self._event is not None:
+            Simulator.cancel(self._event)
+            self._event = None
+
+    def _next_delay(self) -> int:
+        if self._jitter_stream is None:
+            return self.period
+        rng = self._sim.rng(self._jitter_stream)
+        # +/-5% jitter de-synchronizes the many per-port timers, mirroring
+        # independent hardware clocks.
+        return max(1, round(self.period * rng.uniform(0.95, 1.05)))
+
+    def _fire(self) -> None:
+        self._event = self._sim.schedule(self._next_delay(), self._fire)
+        self._callback()
+
+
+def run_until_idle(sim: Simulator, quantum: int = SECOND, max_quanta: int = 10_000) -> int:
+    """Drive ``sim`` in fixed quanta until no events remain.
+
+    Convenience for tests and examples that want "run to completion" without
+    picking a horizon in advance.
+    """
+    quanta = 0
+    while sim.pending_events:
+        sim.run(until=sim.now + quantum)
+        quanta += 1
+        if quanta >= max_quanta:
+            raise SimulationError("simulation did not go idle within the quanta budget")
+    return sim.now
+
+
+__all__ = [
+    "Callback",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "run_until_idle",
+]

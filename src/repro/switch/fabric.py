@@ -1,0 +1,153 @@
+"""Fabric container: the directory tying hosts, leaves, and spines together.
+
+The fabric plays the role of the (out-of-scope for the paper) endpoint
+directory: it maps endpoint ids to their leaf switches so source TEPs can
+resolve destination TEPs (§2.5).  It also provides the experiment-facing
+helpers: link-failure injection, port iteration for statistics, and the
+idealized FCT model used to normalize results (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.net.node import Host
+from repro.net.packet import HEADER_BYTES
+from repro.net.port import Port
+from repro.overlay.vxlan import VXLAN_OVERHEAD
+from repro.units import transmission_time
+
+if TYPE_CHECKING:
+    from repro.lb.base import SelectorFactory
+    from repro.sim import Simulator
+    from repro.switch.leaf import LeafSwitch
+    from repro.switch.spine import SpineSwitch
+
+
+class Fabric:
+    """All nodes of one simulated datacenter fabric."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.hosts: dict[int, Host] = {}
+        self.leaves: list["LeafSwitch"] = []
+        self.spines: list["SpineSwitch"] = []
+        self._host_leaf: dict[int, int] = {}
+
+    # -- directory -------------------------------------------------------------
+
+    def register_host(self, host: Host, leaf_id: int) -> None:
+        """Record that ``host`` lives under leaf ``leaf_id``."""
+        if host.host_id in self.hosts:
+            raise ValueError(f"host id {host.host_id} already registered")
+        self.hosts[host.host_id] = host
+        self._host_leaf[host.host_id] = leaf_id
+
+    def leaf_of(self, host_id: int) -> int:
+        """The leaf id serving ``host_id``."""
+        return self._host_leaf[host_id]
+
+    def host(self, host_id: int) -> Host:
+        """The host object for ``host_id``."""
+        return self.hosts[host_id]
+
+    def hosts_under(self, leaf_id: int) -> list[int]:
+        """All host ids attached to ``leaf_id``."""
+        return [h for h, leaf in self._host_leaf.items() if leaf == leaf_id]
+
+    def finalize(self, selector_factory: "SelectorFactory") -> None:
+        """Finish construction: instantiate each leaf's TEP and selector."""
+        for leaf in self.leaves:
+            leaf.finalize(selector_factory)
+
+    # -- failure injection -------------------------------------------------------
+
+    def uplink_ports(self, leaf_id: int, spine_id: int) -> list[Port]:
+        """The leaf-side ports of all (possibly parallel) links leaf↔spine."""
+        leaf = self.leaves[leaf_id]
+        return [
+            port
+            for port, spine in zip(leaf.uplinks, leaf.uplink_spine)
+            if spine.spine_id == spine_id
+        ]
+
+    def fail_link(self, leaf_id: int, spine_id: int, which: int = 0) -> Port:
+        """Fail the ``which``-th parallel link between a leaf and a spine.
+
+        Returns the failed (leaf-side) port so tests can restore it.
+        """
+        ports = self.uplink_ports(leaf_id, spine_id)
+        if which >= len(ports):
+            raise ValueError(
+                f"leaf{leaf_id}<->spine{spine_id} has {len(ports)} links, "
+                f"cannot fail link {which}"
+            )
+        ports[which].fail()
+        return ports[which]
+
+    # -- statistics -------------------------------------------------------------
+
+    def leaf_uplink_ports(self) -> Iterator[Port]:
+        """All leaf-side fabric ports (leaf → spine direction)."""
+        for leaf in self.leaves:
+            yield from leaf.uplinks
+
+    def spine_ports(self) -> Iterator[Port]:
+        """All spine-side fabric ports (spine → leaf direction)."""
+        for spine in self.spines:
+            yield from spine.ports
+
+    def fabric_ports(self) -> Iterator[Port]:
+        """All fabric ports in both directions."""
+        yield from self.leaf_uplink_ports()
+        yield from self.spine_ports()
+
+    def total_fabric_drops(self) -> int:
+        """Packets dropped at fabric queues (congestion) and down links."""
+        return sum(port.queue.stats.dropped_packets for port in self.fabric_ports())
+
+    # -- idealized FCT -----------------------------------------------------------
+
+    def ideal_fct(self, src: int, dst: int, size: int, mss: int = 1460) -> int:
+        """FCT achievable in an idle network (§5.2.1 normalization baseline).
+
+        Models store-and-forward pipelining: the flow streams at the slowest
+        link on the path, plus one segment's serialization at each later hop
+        and the propagation delays.
+        """
+        src_leaf = self.leaf_of(src)
+        dst_leaf = self.leaf_of(dst)
+        src_host = self.hosts[src]
+        # (rate, per-segment overhead) for each hop: access links carry plain
+        # TCP/IP framing, fabric links add the VXLAN encapsulation.
+        hops = [(src_host.nic.rate_bps, HEADER_BYTES)]
+        if src_leaf != dst_leaf:
+            leaf = self.leaves[src_leaf]
+            fabric_overhead = HEADER_BYTES + VXLAN_OVERHEAD
+            hops.append(
+                (max(port.rate_bps for port in leaf.uplinks), fabric_overhead)
+            )
+            spine_rate = (
+                max(port.rate_bps for port in self.spines[0].ports)
+                if self.spines
+                else hops[-1][0]
+            )
+            hops.append((spine_rate, fabric_overhead))
+        hops.append((self.leaves[dst_leaf].host_port(dst).rate_bps, HEADER_BYTES))
+
+        segments = max(1, -(-size // mss))
+        # The stream drains at the hop where total wire bytes take longest.
+        stream_time = max(
+            transmission_time(size + segments * overhead, rate)
+            for rate, overhead in hops
+        )
+        last_segment = min(size, mss)
+        pipeline = sum(
+            transmission_time(last_segment + overhead, rate)
+            for rate, overhead in hops[1:]
+        )
+        propagation = len(hops) * 500  # matches DEFAULT_PROPAGATION_DELAY
+        return stream_time + pipeline + propagation
+
+
+__all__ = ["Fabric"]

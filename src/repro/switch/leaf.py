@@ -1,0 +1,236 @@
+"""Leaf (top-of-rack) switch model.
+
+The leaf implements everything in Figure 6 of the paper: the tunnel endpoint
+(encap/decap plus both congestion tables, via
+:class:`repro.overlay.TunnelEndpoint`), one DRE per uplink, and the pluggable
+uplink selector that embodies the load balancing scheme under test.  Local
+traffic (both hosts under the same leaf) is switched directly without
+entering the overlay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.dre import DRE
+from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.overlay.vxlan import TunnelEndpoint
+
+if TYPE_CHECKING:
+    from repro.lb.base import SelectorFactory, UplinkSelector
+    from repro.sim import Simulator
+    from repro.switch.fabric import Fabric
+    from repro.switch.spine import SpineSwitch
+
+
+class LeafSwitch(Node):
+    """A leaf switch: overlay TEP, per-uplink DREs, and the LB selector.
+
+    Construction happens in two phases because the selector and tables need
+    to know the final uplink count: the topology builder adds ports with
+    :meth:`add_host_port` / :meth:`add_uplink`, then calls :meth:`finalize`
+    with the selector factory for the experiment.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        leaf_id: int,
+        fabric: "Fabric",
+        params: CongaParams = DEFAULT_PARAMS,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(sim, name or f"leaf{leaf_id}")
+        self.leaf_id = leaf_id
+        self.fabric = fabric
+        self.params = params
+        self.uplinks: list[Port] = []
+        self.uplink_spine: list["SpineSwitch"] = []
+        self.uplink_dres: list[DRE] = []
+        self._host_ports: dict[int, Port] = {}
+        self.tep: TunnelEndpoint | None = None
+        self.selector: "UplinkSelector | None" = None
+        self.dropped_unroutable = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_host_port(
+        self,
+        host_id: int,
+        rate_bps: int,
+        queue_capacity: int | None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create the downlink port for ``host_id``."""
+        if host_id in self._host_ports:
+            raise ValueError(f"host {host_id} already attached to {self.name}")
+        port = self.add_port(
+            rate_bps, queue_capacity, name=f"{self.name}->h{host_id}",
+            ecn_threshold=ecn_threshold,
+        )
+        self._host_ports[host_id] = port
+        return port
+
+    def add_uplink(
+        self,
+        spine: "SpineSwitch",
+        rate_bps: int,
+        queue_capacity: int | None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create an uplink port toward ``spine``; its index is the LBTag."""
+        lbtag = len(self.uplinks)
+        port = self.add_port(
+            rate_bps, queue_capacity, name=f"{self.name}.up{lbtag}->{spine.name}",
+            ecn_threshold=ecn_threshold,
+        )
+        dre = DRE(self.sim, rate_bps, self.params)
+        port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        self.uplinks.append(port)
+        self.uplink_spine.append(spine)
+        self.uplink_dres.append(dre)
+        return port
+
+    def finalize(self, selector_factory: "SelectorFactory") -> None:
+        """Create the TEP and the uplink selector once all ports exist."""
+        if not self.uplinks:
+            raise ValueError(f"{self.name} has no uplinks")
+        self.tep = TunnelEndpoint(
+            self.sim, self.leaf_id, len(self.uplinks), self.params
+        )
+        self.selector = selector_factory(self)
+
+    def enable_explicit_feedback(self, interval: int) -> None:
+        """Generate explicit feedback packets every ``interval`` (§3.3).
+
+        The ASIC piggybacks feedback on reverse traffic only — cheap, but a
+        leaf pair with one-way traffic starves the sender of remote metrics
+        (they age to zero and CONGA degenerates to local-only decisions).
+        §3.3 notes explicit feedback packets as the alternative; this
+        enables it: whenever metrics are owed to some leaf and ``interval``
+        elapses, a 64-byte control packet is sent toward that leaf carrying
+        one (FB_LBTag, FB_Metric) pair via the normal encapsulation path.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        from repro.sim.kernel import PeriodicTimer
+
+        self._feedback_timer = PeriodicTimer(
+            self.sim, interval, self._emit_explicit_feedback
+        )
+        self.explicit_feedback_sent = 0
+
+    def disable_explicit_feedback(self) -> None:
+        """Stop generating explicit feedback packets."""
+        timer = getattr(self, "_feedback_timer", None)
+        if timer is not None:
+            timer.stop()
+
+    def _emit_explicit_feedback(self) -> None:
+        assert self.tep is not None and self.selector is not None
+        for peer_leaf in self.tep.from_leaf_table.leaves_owed_feedback():
+            candidates = self.candidate_uplinks(peer_leaf)
+            if not candidates:
+                continue
+            control = Packet(
+                src=-(1 + self.leaf_id),
+                dst=-(1 + peer_leaf),
+                size=64,
+                protocol="conga-fb",
+                sport=self.leaf_id,
+                dport=peer_leaf,
+                flow_id=-(1 + self.leaf_id),
+                created_at=self.sim.now,
+            )
+            choice = self.selector.choose_uplink(control, peer_leaf, candidates)
+            self.tep.encapsulate(control, peer_leaf, lbtag=choice)
+            self.uplinks[choice].send(control)
+            self.explicit_feedback_sent += 1
+
+    @staticmethod
+    def _measure(packet: Packet, dre: DRE) -> None:
+        dre.on_transmit(packet.size)
+        header = packet.overlay
+        if header is not None:
+            header.ce = max(header.ce, dre.metric())
+
+    # -- CONGA state accessors --------------------------------------------------
+
+    def local_metric(self, uplink: int) -> int:
+        """Quantized local congestion (DRE) of ``uplink``'s egress (§3.5)."""
+        return self.uplink_dres[uplink].metric()
+
+    @property
+    def to_leaf_table(self):
+        """The Congestion-To-Leaf table (valid after :meth:`finalize`)."""
+        assert self.tep is not None, "leaf not finalized"
+        return self.tep.to_leaf_table
+
+    @property
+    def from_leaf_table(self):
+        """The Congestion-From-Leaf table (valid after :meth:`finalize`)."""
+        assert self.tep is not None, "leaf not finalized"
+        return self.tep.from_leaf_table
+
+    def host_port(self, host_id: int) -> Port:
+        """The downlink port serving ``host_id``."""
+        return self._host_ports[host_id]
+
+    @property
+    def attached_hosts(self) -> list[int]:
+        """Host ids attached to this leaf."""
+        return list(self._host_ports)
+
+    # -- forwarding -----------------------------------------------------------
+
+    def candidate_uplinks(self, dst_leaf: int) -> list[int]:
+        """Uplinks that are up and whose spine can still reach ``dst_leaf``."""
+        return [
+            index
+            for index, port in enumerate(self.uplinks)
+            if port.up and self.uplink_spine[index].can_reach(dst_leaf)
+        ]
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        if packet.overlay is not None:
+            self._receive_from_fabric(packet)
+        else:
+            self._receive_from_host(packet)
+
+    def _receive_from_host(self, packet: Packet) -> None:
+        dst_leaf = self.fabric.leaf_of(packet.dst)
+        if dst_leaf == self.leaf_id:
+            self._deliver_down(packet)
+            return
+        assert self.tep is not None and self.selector is not None, (
+            f"{self.name} used before finalize()"
+        )
+        candidates = self.candidate_uplinks(dst_leaf)
+        if not candidates:
+            self.dropped_unroutable += 1
+            return
+        choice = self.selector.choose_uplink(packet, dst_leaf, candidates)
+        self.tep.encapsulate(packet, dst_leaf, lbtag=choice)
+        self.uplinks[choice].send(packet)
+
+    def _receive_from_fabric(self, packet: Packet) -> None:
+        assert self.tep is not None, f"{self.name} used before finalize()"
+        self.tep.decapsulate(packet)
+        if packet.protocol == "conga-fb":
+            # Explicit feedback control packets terminate at the leaf; the
+            # decapsulation above already consumed their payload fields.
+            return
+        self._deliver_down(packet)
+
+    def _deliver_down(self, packet: Packet) -> None:
+        port = self._host_ports.get(packet.dst)
+        if port is None:
+            self.dropped_unroutable += 1
+            return
+        port.send(packet)
+
+
+__all__ = ["LeafSwitch"]

@@ -1,0 +1,101 @@
+"""Spine switch model.
+
+Spines are deliberately simple in CONGA (§3, Figure 6): they forward on the
+overlay header's destination leaf, pick among parallel links to that leaf
+with standard ECMP hashing (footnote 3), and run a DRE per egress link that
+updates the packet's CE field to the maximum congestion seen so far (§3.3
+step 2).  All CONGA decision state lives at the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.dre import DRE
+from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.lb.ecmp import ecmp_hash
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+
+class SpineSwitch(Node):
+    """A spine (core) switch in a Leaf-Spine fabric."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        spine_id: int,
+        params: CongaParams = DEFAULT_PARAMS,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(sim, name or f"spine{spine_id}")
+        self.spine_id = spine_id
+        self.params = params
+        self.dres: list[DRE] = []
+        self._leaf_ports: dict[int, list[int]] = {}
+        self.dropped_unroutable = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_leaf_port(
+        self,
+        leaf_id: int,
+        rate_bps: int,
+        queue_capacity: int | None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create a port that will connect to ``leaf_id`` and attach its DRE."""
+        port = self.add_port(
+            rate_bps, queue_capacity, name=f"{self.name}->leaf{leaf_id}",
+            ecn_threshold=ecn_threshold,
+        )
+        dre = DRE(self.sim, rate_bps, self.params)
+        self.dres.append(dre)
+        port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        self._leaf_ports.setdefault(leaf_id, []).append(port.index)
+        return port
+
+    @staticmethod
+    def _measure(packet: Packet, dre: DRE) -> None:
+        dre.on_transmit(packet.size)
+        header = packet.overlay
+        if header is not None:
+            header.ce = max(header.ce, dre.metric())
+
+    # -- forwarding -----------------------------------------------------------
+
+    def ports_to_leaf(self, leaf_id: int) -> list[int]:
+        """Indices of *up* ports toward ``leaf_id``."""
+        return [
+            index
+            for index in self._leaf_ports.get(leaf_id, [])
+            if self.ports[index].up
+        ]
+
+    def can_reach(self, leaf_id: int) -> bool:
+        """Whether at least one link toward ``leaf_id`` is up."""
+        return bool(self.ports_to_leaf(leaf_id))
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        header = packet.overlay
+        if header is None:
+            # Spines only ever see encapsulated fabric traffic.
+            self.dropped_unroutable += 1
+            return
+        candidates = self.ports_to_leaf(header.dst_leaf)
+        if not candidates:
+            self.dropped_unroutable += 1
+            return
+        if len(candidates) == 1:
+            choice = candidates[0]
+        else:
+            index = ecmp_hash(packet.five_tuple, salt=1_000_003 + self.spine_id)
+            choice = candidates[index % len(candidates)]
+        self.ports[choice].send(packet)
+
+
+__all__ = ["SpineSwitch"]

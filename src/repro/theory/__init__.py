@@ -1,0 +1,29 @@
+"""Game-theoretic and stochastic analysis: PoA (Thm. 1) and imbalance (Thm. 2)."""
+
+from repro.theory.game import (
+    BottleneckGame,
+    GameUser,
+    complete_leaf_spine_game,
+    figure17_gadget,
+)
+from repro.theory.imbalance import (
+    ImbalanceEstimate,
+    effective_rate,
+    flowlet_split_sampler,
+    imbalance_bound,
+    sampler_from_distribution,
+    simulate_imbalance,
+)
+
+__all__ = [
+    "BottleneckGame",
+    "GameUser",
+    "ImbalanceEstimate",
+    "complete_leaf_spine_game",
+    "effective_rate",
+    "figure17_gadget",
+    "flowlet_split_sampler",
+    "imbalance_bound",
+    "sampler_from_distribution",
+    "simulate_imbalance",
+]

@@ -1,0 +1,348 @@
+"""The bottleneck routing game and Price of Anarchy analysis (paper §6.1).
+
+CONGA's leaves selfishly route their traffic to minimize the congestion of
+their own flows.  Banner & Orda's *bottleneck routing game* [6] models this:
+users (leaf pairs with demands) split traffic over the 2-hop paths of a
+Leaf-Spine network; a user's cost is the highest utilization among links it
+uses; a flow is a Nash equilibrium when no user can unilaterally lower its
+own bottleneck.  Theorem 1 of the paper: the Price of Anarchy — worst-case
+Nash network bottleneck over the optimal network bottleneck — is exactly 2.
+
+This module provides:
+
+* :class:`BottleneckGame` — the game itself, with exact LP solvers for a
+  user's best response and for the globally optimal bottleneck, plus
+  best-response dynamics (which is what CONGA's continuous rebalancing
+  implements in the fluid limit);
+* :func:`figure17_gadget` — a worst-case instance achieving PoA = 2: a
+  3-leaf × 3-spine fabric where six unit demands are locked into a Nash
+  flow with bottleneck 1 (every user's alternative paths are blocked by
+  another user's saturated link) while the optimum is 1/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+@dataclass(frozen=True)
+class GameUser:
+    """One player: ``demand`` units from leaf ``src`` to leaf ``dst``."""
+
+    src: int
+    dst: int
+    demand: float
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError(f"demand must be positive: {self}")
+        if self.src == self.dst:
+            raise ValueError(f"source and destination must differ: {self}")
+
+
+class BottleneckGame:
+    """A bottleneck routing game on a (possibly asymmetric) Leaf-Spine net.
+
+    ``up_capacity[l][s]`` is the capacity of link leaf *l* → spine *s* and
+    ``down_capacity[s][l]`` of spine *s* → leaf *l*; zero means the link is
+    absent.  A strategy profile is an array ``flows[u][s]`` giving user
+    *u*'s traffic through spine *s*.
+    """
+
+    def __init__(
+        self,
+        up_capacity: np.ndarray,
+        down_capacity: np.ndarray,
+        users: list[GameUser],
+    ) -> None:
+        up = np.asarray(up_capacity, dtype=float)
+        down = np.asarray(down_capacity, dtype=float)
+        if up.ndim != 2 or down.ndim != 2:
+            raise ValueError("capacity matrices must be 2-D")
+        if up.shape[0] != down.shape[1] or up.shape[1] != down.shape[0]:
+            raise ValueError(
+                f"inconsistent shapes: up {up.shape} vs down {down.shape}"
+            )
+        if not users:
+            raise ValueError("need at least one user")
+        self.up = up
+        self.down = down
+        self.num_leaves, self.num_spines = up.shape
+        self.users = list(users)
+        for user in users:
+            if not (0 <= user.src < self.num_leaves and 0 <= user.dst < self.num_leaves):
+                raise ValueError(f"user endpoints out of range: {user}")
+
+    # -- flow bookkeeping ---------------------------------------------------------
+
+    def validate_flows(self, flows: np.ndarray) -> np.ndarray:
+        """Check shape, non-negativity, demand satisfaction, link presence."""
+        flows = np.asarray(flows, dtype=float)
+        if flows.shape != (len(self.users), self.num_spines):
+            raise ValueError(
+                f"flows must be {(len(self.users), self.num_spines)}, got {flows.shape}"
+            )
+        if (flows < -1e-9).any():
+            raise ValueError("flows must be non-negative")
+        for index, user in enumerate(self.users):
+            if abs(flows[index].sum() - user.demand) > 1e-6:
+                raise ValueError(f"user {index} does not route its full demand")
+            for spine in range(self.num_spines):
+                if flows[index, spine] > 1e-9 and (
+                    self.up[user.src, spine] == 0 or self.down[spine, user.dst] == 0
+                ):
+                    raise ValueError(
+                        f"user {index} routes through missing link via spine {spine}"
+                    )
+        return flows
+
+    def link_loads(self, flows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Total load per up-link and down-link."""
+        up_load = np.zeros_like(self.up)
+        down_load = np.zeros_like(self.down)
+        for index, user in enumerate(self.users):
+            up_load[user.src, :] += flows[index]
+            down_load[:, user.dst] += flows[index]
+        return up_load, down_load
+
+    def _utilizations(self, flows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        up_load, down_load = self.link_loads(flows)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            up_util = np.where(self.up > 0, up_load / self.up, 0.0)
+            down_util = np.where(self.down > 0, down_load / self.down, 0.0)
+        return up_util, down_util
+
+    def network_bottleneck(self, flows: np.ndarray) -> float:
+        """B(f): utilization of the most congested link (§6.1)."""
+        up_util, down_util = self._utilizations(flows)
+        return float(max(up_util.max(), down_util.max()))
+
+    def user_bottleneck(self, flows: np.ndarray, user_index: int) -> float:
+        """b_u(f): max utilization among links user ``user_index`` uses."""
+        user = self.users[user_index]
+        up_util, down_util = self._utilizations(flows)
+        worst = 0.0
+        for spine in range(self.num_spines):
+            if flows[user_index, spine] > 1e-9:
+                worst = max(
+                    worst, up_util[user.src, spine], down_util[spine, user.dst]
+                )
+        return worst
+
+    # -- solvers -------------------------------------------------------------------
+
+    def _user_paths(self, user: GameUser) -> list[int]:
+        return [
+            spine
+            for spine in range(self.num_spines)
+            if self.up[user.src, spine] > 0 and self.down[spine, user.dst] > 0
+        ]
+
+    def best_response(
+        self, flows: np.ndarray, user_index: int
+    ) -> tuple[np.ndarray, float]:
+        """User's bottleneck-minimizing reroute given everyone else's flows.
+
+        Returns (new per-spine flow vector for the user, achieved bottleneck).
+        Solved as an LP: minimize U subject to the user's own contribution
+        keeping each link it *uses* within U·capacity; links it does not use
+        do not constrain it (the bottleneck counts only links with positive
+        own flow, which the LP handles because an unused path simply gets
+        zero flow).
+        """
+        user = self.users[user_index]
+        paths = self._user_paths(user)
+        if not paths:
+            raise ValueError(f"user {user_index} has no available path")
+        others_up, others_down = self.link_loads(
+            self._flows_without(flows, user_index)
+        )
+        # Variables: one flow per usable path + U.
+        nvar = len(paths) + 1
+        c = np.zeros(nvar)
+        c[-1] = 1.0
+        rows, rhs = [], []
+        for position, spine in enumerate(paths):
+            for load, cap in (
+                (others_up[user.src, spine], self.up[user.src, spine]),
+                (others_down[spine, user.dst], self.down[spine, user.dst]),
+            ):
+                row = np.zeros(nvar)
+                row[position] = 1.0
+                row[-1] = -cap
+                rows.append(row)
+                rhs.append(-load)
+        eq = np.zeros((1, nvar))
+        eq[0, : len(paths)] = 1.0
+        result = linprog(
+            c,
+            A_ub=np.array(rows),
+            b_ub=np.array(rhs),
+            A_eq=eq,
+            b_eq=[user.demand],
+            bounds=[(0, None)] * nvar,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"best-response LP failed: {result.message}")
+        vector = np.zeros(self.num_spines)
+        for position, spine in enumerate(paths):
+            vector[spine] = result.x[position]
+        return vector, float(result.x[-1])
+
+    @staticmethod
+    def _flows_without(flows: np.ndarray, user_index: int) -> np.ndarray:
+        reduced = flows.copy()
+        reduced[user_index, :] = 0.0
+        return reduced
+
+    def is_nash(self, flows: np.ndarray, tolerance: float = 1e-6) -> bool:
+        """Whether no user can strictly improve its own bottleneck."""
+        flows = self.validate_flows(flows)
+        for index in range(len(self.users)):
+            current = self.user_bottleneck(flows, index)
+            _vector, achievable = self.best_response(flows, index)
+            if achievable < current - tolerance:
+                return False
+        return True
+
+    def best_response_dynamics(
+        self,
+        start: np.ndarray | None = None,
+        *,
+        rounds: int = 100,
+        tolerance: float = 1e-9,
+    ) -> np.ndarray:
+        """Iterate best responses until no user improves (a Nash flow).
+
+        This is the idealized fluid version of CONGA's rebalancing loop,
+        which the paper notes converges to a Nash flow because traffic moves
+        whenever a smaller-bottleneck path is available.
+        """
+        if start is None:
+            flows = np.zeros((len(self.users), self.num_spines))
+            for index, user in enumerate(self.users):
+                paths = self._user_paths(user)
+                flows[index, paths] = user.demand / len(paths)
+        else:
+            flows = self.validate_flows(start).copy()
+        for _ in range(rounds):
+            improved = False
+            for index in range(len(self.users)):
+                current = self.user_bottleneck(flows, index)
+                vector, achievable = self.best_response(flows, index)
+                if achievable < current - max(tolerance, 1e-9):
+                    flows[index] = vector
+                    improved = True
+            if not improved:
+                break
+        return flows
+
+    def optimal_bottleneck(self) -> float:
+        """The minimum achievable network bottleneck (centralized optimum)."""
+        per_user_paths = [self._user_paths(user) for user in self.users]
+        offsets = np.cumsum([0] + [len(p) for p in per_user_paths])
+        nvar = int(offsets[-1]) + 1
+        c = np.zeros(nvar)
+        c[-1] = 1.0
+        rows, rhs = [], []
+        for leaf in range(self.num_leaves):
+            for spine in range(self.num_spines):
+                for capacity, is_up in (
+                    (self.up[leaf, spine], True),
+                    (self.down[spine, leaf], False),
+                ):
+                    if capacity <= 0:
+                        continue
+                    row = np.zeros(nvar)
+                    for index, user in enumerate(self.users):
+                        endpoint = user.src if is_up else user.dst
+                        if endpoint != leaf:
+                            continue
+                        paths = per_user_paths[index]
+                        if spine in paths:
+                            row[offsets[index] + paths.index(spine)] = 1.0
+                    row[-1] = -capacity
+                    rows.append(row)
+                    rhs.append(0.0)
+        eqs = np.zeros((len(self.users), nvar))
+        demands = []
+        for index, user in enumerate(self.users):
+            eqs[index, offsets[index] : offsets[index + 1]] = 1.0
+            demands.append(user.demand)
+        result = linprog(
+            c,
+            A_ub=np.array(rows),
+            b_ub=np.array(rhs),
+            A_eq=eqs,
+            b_eq=demands,
+            bounds=[(0, None)] * nvar,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"optimal-bottleneck LP failed: {result.message}")
+        return float(result.x[-1])
+
+    def price_of_anarchy(self, nash_flows: np.ndarray) -> float:
+        """B(nash) / B(optimal) for a given Nash flow."""
+        return self.network_bottleneck(nash_flows) / self.optimal_bottleneck()
+
+
+def complete_leaf_spine_game(
+    num_leaves: int,
+    num_spines: int,
+    users: list[GameUser],
+    *,
+    up_capacity: float = 1.0,
+    down_capacity: float = 1.0,
+) -> BottleneckGame:
+    """A game on a uniform complete bipartite Leaf-Spine network."""
+    up = np.full((num_leaves, num_spines), float(up_capacity))
+    down = np.full((num_spines, num_leaves), float(down_capacity))
+    return BottleneckGame(up, down, users)
+
+
+def figure17_gadget() -> tuple[BottleneckGame, np.ndarray]:
+    """A worst-case instance with Price of Anarchy exactly 2 (Theorem 1).
+
+    Three leaves, three spines, six unit demands (every ordered leaf pair —
+    "each pair of adjacent leaves sends 1 unit of traffic to each other").
+    In the returned Nash flow each user routes entirely through one spine;
+    every loaded link (capacity 1) carries exactly 1, so the network
+    bottleneck is 1.  Each user's two alternative paths both cross some
+    *other* user's saturated link, so no unilateral move helps — the flow
+    is locked.  The six idle links have capacity 2; using them, the optimum
+    spreads every demand so that no link exceeds utilization 1/2.
+    """
+    users = [
+        GameUser(0, 1, 1.0),
+        GameUser(0, 2, 1.0),
+        GameUser(1, 0, 1.0),
+        GameUser(1, 2, 1.0),
+        GameUser(2, 0, 1.0),
+        GameUser(2, 1, 1.0),
+    ]
+    nash_spine = {0: 0, 1: 1, 2: 0, 3: 2, 4: 1, 5: 2}
+    flows = np.zeros((6, 3))
+    for index, spine in nash_spine.items():
+        flows[index, spine] = 1.0
+    up_load = np.zeros((3, 3))
+    down_load = np.zeros((3, 3))
+    for index, user in enumerate(users):
+        up_load[user.src, :] += flows[index]
+        down_load[:, user.dst] += flows[index]
+    up = np.where(up_load > 0, 1.0, 2.0)
+    down = np.where(down_load > 0, 1.0, 2.0)
+    game = BottleneckGame(up, down, users)
+    return game, flows
+
+
+__all__ = [
+    "BottleneckGame",
+    "GameUser",
+    "complete_leaf_spine_game",
+    "figure17_gadget",
+]

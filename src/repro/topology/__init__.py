@@ -1,0 +1,29 @@
+"""Topology builders: Leaf-Spine fabrics and failure injection."""
+
+from repro.topology.multipod import (
+    CoreSwitch,
+    MultiPodConfig,
+    MultiPodFabric,
+    PodSpineSwitch,
+    build_multipod,
+)
+from repro.topology.leafspine import (
+    LeafSpineConfig,
+    TESTBED,
+    build_leaf_spine,
+    fail_random_links,
+    scaled_testbed,
+)
+
+__all__ = [
+    "CoreSwitch",
+    "LeafSpineConfig",
+    "MultiPodConfig",
+    "MultiPodFabric",
+    "PodSpineSwitch",
+    "build_multipod",
+    "TESTBED",
+    "build_leaf_spine",
+    "fail_random_links",
+    "scaled_testbed",
+]

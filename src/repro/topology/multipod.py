@@ -1,0 +1,308 @@
+"""Multi-pod (3-tier) Clos topologies — the paper's §7 extension.
+
+The largest datacenters organize the network as multiple *pods*, each a
+2-tier Leaf-Spine Clos, joined by a core tier.  §7: CONGA "is beneficial
+even in these cases since it balances the traffic within each pod
+optimally, which also reduces congestion for inter-pod traffic.  Moreover,
+even for inter-pod traffic, CONGA makes better decisions than ECMP at the
+first hop."
+
+The model here follows that exactly:
+
+* leaves are unchanged — a leaf's uplinks go to its pod's spines, and its
+  CONGA machinery (LBTags, tables, feedback) spans *all* destination
+  leaves, intra- or inter-pod;
+* pod spines (:class:`PodSpineSwitch`) route intra-pod traffic down as in
+  the 2-tier fabric and hash inter-pod traffic across their core uplinks;
+* core switches (:class:`CoreSwitch`) route on the destination pod with
+  ECMP over the parallel links toward it;
+* every fabric link (leaf→spine, spine→core, core→spine, spine→leaf) runs
+  a DRE and CE-marks packets, so the leaf-to-leaf feedback loop sees the
+  *maximum* congestion along the whole 4-hop inter-pod path — the natural
+  generalization the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dre import DRE
+from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.lb.ecmp import ecmp_hash
+from repro.net.node import Host, Node
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.net.port import DEFAULT_PROPAGATION_DELAY, Port, connect
+from repro.overlay.vxlan import VXLAN_OVERHEAD
+from repro.sim import Simulator
+from repro.switch.fabric import Fabric
+from repro.switch.leaf import LeafSwitch
+from repro.switch.spine import SpineSwitch
+from repro.units import gbps, transmission_time
+
+
+@dataclass(frozen=True)
+class MultiPodConfig:
+    """Parameters of a pods-of-Leaf-Spine fabric with a core tier."""
+
+    num_pods: int = 2
+    leaves_per_pod: int = 2
+    spines_per_pod: int = 2
+    hosts_per_leaf: int = 4
+    num_cores: int = 2
+    links_per_pair: int = 1
+    host_rate_bps: int = field(default_factory=lambda: gbps(10))
+    fabric_rate_bps: int = field(default_factory=lambda: gbps(10))
+    core_rate_bps: int = field(default_factory=lambda: gbps(10))
+    host_queue_bytes: int | None = 10_000_000
+    fabric_queue_bytes: int | None = 10_000_000
+    ecn_threshold_bytes: int | None = None
+    propagation_delay: int = DEFAULT_PROPAGATION_DELAY
+    params: CongaParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if min(self.num_pods, self.leaves_per_pod, self.spines_per_pod) < 1:
+            raise ValueError("need at least one pod, leaf, and spine")
+        if self.hosts_per_leaf < 1 or self.num_cores < 1:
+            raise ValueError("need at least one host per leaf and one core")
+
+
+class CoreSwitch(Node):
+    """A core switch joining pods; routes on the destination pod."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        fabric: "MultiPodFabric",
+        params: CongaParams = DEFAULT_PARAMS,
+    ) -> None:
+        super().__init__(sim, f"core{core_id}")
+        self.core_id = core_id
+        self.fabric = fabric
+        self.params = params
+        self._pod_ports: dict[int, list[int]] = {}
+        self.dropped_unroutable = 0
+
+    def add_spine_port(
+        self,
+        pod: int,
+        rate_bps: int,
+        queue_capacity: int | None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create a port toward a spine in ``pod``, with its DRE."""
+        port = self.add_port(
+            rate_bps, queue_capacity,
+            name=f"{self.name}->pod{pod}", ecn_threshold=ecn_threshold,
+        )
+        dre = DRE(self.sim, rate_bps, self.params)
+        port.on_transmit.append(lambda packet, d=dre: _measure(packet, d))
+        self._pod_ports.setdefault(pod, []).append(port.index)
+        return port
+
+    def ports_to_pod(self, pod: int) -> list[int]:
+        """Indices of up ports toward ``pod``."""
+        return [i for i in self._pod_ports.get(pod, []) if self.ports[i].up]
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        header = packet.overlay
+        if header is None:
+            self.dropped_unroutable += 1
+            return
+        pod = self.fabric.pod_of_leaf(header.dst_leaf)
+        candidates = self.ports_to_pod(pod)
+        if not candidates:
+            self.dropped_unroutable += 1
+            return
+        index = ecmp_hash(packet.five_tuple, salt=7_000_003 + self.core_id)
+        self.ports[candidates[index % len(candidates)]].send(packet)
+
+
+class PodSpineSwitch(SpineSwitch):
+    """A pod spine: 2-tier behaviour plus core uplinks for inter-pod traffic."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spine_id: int,
+        pod: int,
+        fabric: "MultiPodFabric",
+        params: CongaParams = DEFAULT_PARAMS,
+    ) -> None:
+        super().__init__(sim, spine_id, params, name=f"pod{pod}-spine{spine_id}")
+        self.pod = pod
+        self.fabric = fabric
+        self._core_ports: list[int] = []
+
+    def add_core_port(
+        self,
+        core: CoreSwitch,
+        rate_bps: int,
+        queue_capacity: int | None,
+        ecn_threshold: int | None = None,
+    ) -> Port:
+        """Create an uplink toward ``core``, with its DRE."""
+        port = self.add_port(
+            rate_bps, queue_capacity,
+            name=f"{self.name}->{core.name}", ecn_threshold=ecn_threshold,
+        )
+        dre = DRE(self.sim, rate_bps, self.params)
+        port.on_transmit.append(lambda packet, d=dre: _measure(packet, d))
+        self._core_ports.append(port.index)
+        return port
+
+    def up_core_ports(self) -> list[int]:
+        """Indices of up core-facing ports."""
+        return [i for i in self._core_ports if self.ports[i].up]
+
+    def can_reach(self, leaf_id: int) -> bool:
+        """Intra-pod: direct downlink; inter-pod: via any up core link."""
+        if self.fabric.pod_of_leaf(leaf_id) == self.pod:
+            return super().can_reach(leaf_id)
+        return bool(self.up_core_ports())
+
+    def receive(self, packet: Packet, port: Port) -> None:
+        header = packet.overlay
+        if header is None:
+            self.dropped_unroutable += 1
+            return
+        if self.fabric.pod_of_leaf(header.dst_leaf) == self.pod:
+            super().receive(packet, port)
+            return
+        candidates = self.up_core_ports()
+        if not candidates:
+            self.dropped_unroutable += 1
+            return
+        index = ecmp_hash(packet.five_tuple, salt=3_000_017 + self.spine_id)
+        self.ports[candidates[index % len(candidates)]].send(packet)
+
+
+def _measure(packet: Packet, dre: DRE) -> None:
+    dre.on_transmit(packet.size)
+    header = packet.overlay
+    if header is not None:
+        header.ce = max(header.ce, dre.metric())
+
+
+class MultiPodFabric(Fabric):
+    """A Fabric with a core tier and a leaf→pod directory."""
+
+    def __init__(self, sim: Simulator, config: MultiPodConfig) -> None:
+        super().__init__(sim)
+        self.config = config
+        self.cores: list[CoreSwitch] = []
+
+    def pod_of_leaf(self, leaf_id: int) -> int:
+        """The pod housing ``leaf_id``."""
+        return leaf_id // self.config.leaves_per_pod
+
+    def pod_leaves(self, pod: int) -> list[LeafSwitch]:
+        """Leaves of ``pod``."""
+        per = self.config.leaves_per_pod
+        return self.leaves[pod * per : (pod + 1) * per]
+
+    def core_ports(self):
+        """All core-switch egress ports."""
+        for core in self.cores:
+            yield from core.ports
+
+    def fabric_ports(self):
+        yield from super().fabric_ports()
+        yield from self.core_ports()
+
+    def ideal_fct(self, src: int, dst: int, size: int, mss: int = 1460) -> int:
+        src_leaf = self.leaf_of(src)
+        dst_leaf = self.leaf_of(dst)
+        if self.pod_of_leaf(src_leaf) == self.pod_of_leaf(dst_leaf):
+            return super().ideal_fct(src, dst, size, mss)
+        # Inter-pod: host -> leaf -> spine -> core -> spine -> leaf -> host.
+        fabric_overhead = HEADER_BYTES + VXLAN_OVERHEAD
+        hops = [
+            (self.hosts[src].nic.rate_bps, HEADER_BYTES),
+            (self.config.fabric_rate_bps, fabric_overhead),
+            (self.config.core_rate_bps, fabric_overhead),
+            (self.config.core_rate_bps, fabric_overhead),
+            (self.config.fabric_rate_bps, fabric_overhead),
+            (self.leaves[dst_leaf].host_port(dst).rate_bps, HEADER_BYTES),
+        ]
+        segments = max(1, -(-size // mss))
+        stream_time = max(
+            transmission_time(size + segments * overhead, rate)
+            for rate, overhead in hops
+        )
+        last = min(size, mss)
+        pipeline = sum(
+            transmission_time(last + overhead, rate) for rate, overhead in hops[1:]
+        )
+        return stream_time + pipeline + len(hops) * self.config.propagation_delay
+
+
+def build_multipod(sim: Simulator, config: MultiPodConfig | None = None) -> MultiPodFabric:
+    """Construct a multi-pod fabric; call ``fabric.finalize(...)`` after.
+
+    Leaf ids are global and pod-major; host ids are leaf-major as in the
+    2-tier builder.  Every spine connects to every core with
+    ``links_per_pair`` parallel links.
+    """
+    if config is None:
+        config = MultiPodConfig()
+    fabric = MultiPodFabric(sim, config)
+    fabric.cores = [
+        CoreSwitch(sim, core_id, fabric, config.params)
+        for core_id in range(config.num_cores)
+    ]
+    leaf_id = 0
+    for pod in range(config.num_pods):
+        spines = [
+            PodSpineSwitch(
+                sim, pod * config.spines_per_pod + s, pod, fabric, config.params
+            )
+            for s in range(config.spines_per_pod)
+        ]
+        fabric.spines.extend(spines)
+        for spine in spines:
+            for core in fabric.cores:
+                for _ in range(config.links_per_pair):
+                    up = spine.add_core_port(
+                        core, config.core_rate_bps, config.fabric_queue_bytes,
+                        ecn_threshold=config.ecn_threshold_bytes,
+                    )
+                    down = core.add_spine_port(
+                        pod, config.core_rate_bps, config.fabric_queue_bytes,
+                        ecn_threshold=config.ecn_threshold_bytes,
+                    )
+                    connect(up, down, config.propagation_delay)
+        for _ in range(config.leaves_per_pod):
+            leaf = LeafSwitch(sim, leaf_id, fabric, config.params)
+            fabric.leaves.append(leaf)
+            for i in range(config.hosts_per_leaf):
+                host_id = leaf_id * config.hosts_per_leaf + i
+                host = Host(sim, host_id, nic_rate_bps=config.host_rate_bps)
+                down = leaf.add_host_port(
+                    host_id, config.host_rate_bps, config.host_queue_bytes,
+                    ecn_threshold=config.ecn_threshold_bytes,
+                )
+                connect(host.nic, down, config.propagation_delay)
+                fabric.register_host(host, leaf_id)
+            for spine in spines:
+                for _ in range(config.links_per_pair):
+                    up = leaf.add_uplink(
+                        spine, config.fabric_rate_bps, config.fabric_queue_bytes,
+                        ecn_threshold=config.ecn_threshold_bytes,
+                    )
+                    down = spine.add_leaf_port(
+                        leaf_id, config.fabric_rate_bps, config.fabric_queue_bytes,
+                        ecn_threshold=config.ecn_threshold_bytes,
+                    )
+                    connect(up, down, config.propagation_delay)
+            leaf_id += 1
+    return fabric
+
+
+__all__ = [
+    "CoreSwitch",
+    "MultiPodConfig",
+    "MultiPodFabric",
+    "PodSpineSwitch",
+    "build_multipod",
+]

@@ -1,0 +1,21 @@
+"""Synthetic packet traces and flowlet measurement analysis (paper §2.6)."""
+
+from repro.traces.flowlets import (
+    FIGURE5_GAPS,
+    PacketTrace,
+    SyntheticTraceGenerator,
+    byte_median_size,
+    byte_weighted_cdf,
+    concurrency_per_window,
+    flowlet_sizes,
+)
+
+__all__ = [
+    "FIGURE5_GAPS",
+    "PacketTrace",
+    "SyntheticTraceGenerator",
+    "byte_median_size",
+    "byte_weighted_cdf",
+    "concurrency_per_window",
+    "flowlet_sizes",
+]

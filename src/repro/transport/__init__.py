@@ -1,0 +1,40 @@
+"""Transports: NewReno TCP, DCTCP, MPTCP (coupled LIA), and UDP."""
+
+from repro.transport.dctcp import DEFAULT_K_BYTES, DctcpCC, dctcp_cc_factory
+from repro.transport.mptcp import DEFAULT_SUBFLOWS, LinkedIncreasesCC, MptcpConnection
+from repro.transport.tcp import (
+    CongestionControl,
+    DataSource,
+    PacedSource,
+    FlowRecord,
+    INCAST_RECOMMENDED,
+    SenderStats,
+    TcpFlow,
+    TcpParams,
+    TcpReceiver,
+    TcpSender,
+    next_flow_id,
+)
+from repro.transport.udp import UdpSink, UdpSource
+
+__all__ = [
+    "CongestionControl",
+    "DEFAULT_K_BYTES",
+    "DEFAULT_SUBFLOWS",
+    "DctcpCC",
+    "dctcp_cc_factory",
+    "DataSource",
+    "FlowRecord",
+    "INCAST_RECOMMENDED",
+    "LinkedIncreasesCC",
+    "MptcpConnection",
+    "PacedSource",
+    "SenderStats",
+    "TcpFlow",
+    "TcpParams",
+    "TcpReceiver",
+    "TcpSender",
+    "UdpSink",
+    "UdpSource",
+    "next_flow_id",
+]

@@ -1,0 +1,208 @@
+"""MPTCP model: N subflows with Linked-Increases (LIA) coupled congestion control.
+
+The paper compares against MPTCP kernel v0.87 configured with 8 subflows per
+connection [41].  The behaviours that matter for the evaluation are:
+
+* each subflow has its own 5-tuple, so ECMP spreads subflows over distinct
+  fabric paths — this is what gives MPTCP its good core load balancing;
+* the subflows run the coupled LIA increase (RFC 6356 / Wischik et al.
+  [50]) in congestion avoidance, so the connection is no more aggressive
+  than one TCP on the best path;
+* each subflow keeps its own loss recovery and (small) window, which is
+  precisely what makes MPTCP fragile in Incast: many small windows mean
+  frequent timeouts and extra edge-link burstiness (§5.3).
+
+Data is pulled by subflows from a shared connection-level pool in MSS
+chunks as their windows open, which approximates the kernel's lowest-RTT
+scheduler without modelling a reinjection queue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.node import Host
+from repro.transport.tcp import (
+    CongestionControl,
+    DataSource,
+    TcpParams,
+    TcpReceiver,
+    TcpSender,
+    next_flow_id,
+)
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
+
+#: Subflow count recommended by Raiciu et al. and used in the paper (§5).
+DEFAULT_SUBFLOWS = 8
+
+
+class _SubflowSource(DataSource):
+    """Pulls bytes from the shared connection pool on demand.
+
+    ``quota`` stripes the connection's data across subflows (at MSS
+    granularity), modelling the kernel scheduler's spreading.  Striping is
+    what gives MPTCP its characteristic small-flow behaviour: a short
+    transfer ends up as one or two segments on *each* subflow, so a single
+    drop cannot be recovered by duplicate ACKs and costs a full RTO — the
+    effect behind the paper's Figure 9(b)/13 results.
+    """
+
+    def __init__(self, connection: "MptcpConnection", quota: int) -> None:
+        self.connection = connection
+        self.quota = quota
+        self.assigned = 0
+
+    def available(self) -> int:
+        return self.assigned
+
+    def request(self, sender: TcpSender, want: int) -> None:
+        # Grant only what the subflow can transmit right now so bytes are
+        # not stranded behind a stalled subflow's closed window, and never
+        # beyond this subflow's stripe.
+        window_space = int(sender.cwnd) - sender.inflight
+        if window_space <= 0:
+            return
+        grant = min(
+            want,
+            window_space,
+            self.connection.pool_remaining,
+            self.quota - self.assigned,
+        )
+        if grant > 0:
+            self.assigned += grant
+            self.connection.pool_remaining -= grant
+
+    def closed(self) -> bool:
+        return self.connection.pool_remaining == 0 or self.assigned >= self.quota
+
+
+class LinkedIncreasesCC(CongestionControl):
+    """RFC 6356 coupled congestion avoidance for one subflow."""
+
+    def __init__(self, connection: "MptcpConnection") -> None:
+        self.connection = connection
+
+    def ca_increase(self, sender: TcpSender, acked_bytes: int) -> float:
+        alpha = self.connection.lia_alpha()
+        total = self.connection.total_cwnd()
+        mss = sender.params.mss
+        coupled = alpha * acked_bytes * mss / max(total, 1.0)
+        single = acked_bytes * mss / max(sender.cwnd, 1.0)
+        return min(coupled, single)
+
+
+class MptcpConnection:
+    """An MPTCP connection moving ``size`` bytes over ``num_subflows`` subflows."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src_host: Host,
+        dst_host: Host,
+        size: int,
+        *,
+        num_subflows: int = DEFAULT_SUBFLOWS,
+        params: TcpParams = TcpParams(),
+        dport: int = 80,
+        on_complete: Callable[["MptcpConnection"], None] | None = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"flow size must be positive, got {size}")
+        if num_subflows < 1:
+            raise ValueError(f"need at least one subflow, got {num_subflows}")
+        self.sim = sim
+        self.size = size
+        self.pool_remaining = size
+        self.params = params
+        self.on_complete = on_complete
+        self.started_at = sim.now
+        self.completed_at: int | None = None
+        self.subflows: list[TcpSender] = []
+        self.receivers: list[TcpReceiver] = []
+        cc = LinkedIncreasesCC(self)
+        # Stripe the transfer across subflows at MSS granularity (the
+        # scheduler's spreading); sub-MSS transfers ride a single subflow.
+        quota = max(params.mss, -(-size // num_subflows))
+        for _ in range(num_subflows):
+            flow_id = next_flow_id(sim)
+            receiver = TcpReceiver(
+                sim,
+                dst_host,
+                src_host.host_id,
+                flow_id=flow_id,
+                sport=flow_id,
+                dport=dport,
+                params=params,
+            )
+            sender = TcpSender(
+                sim,
+                src_host,
+                dst_host.host_id,
+                _SubflowSource(self, quota),
+                flow_id=flow_id,
+                sport=flow_id,
+                dport=dport,
+                params=params,
+                cc=cc,
+                on_complete=self._on_subflow_done,
+            )
+            self.receivers.append(receiver)
+            self.subflows.append(sender)
+
+    # -- coupled congestion control ----------------------------------------------
+
+    def total_cwnd(self) -> float:
+        """Sum of subflow congestion windows, bytes."""
+        return sum(flow.cwnd for flow in self.subflows)
+
+    def lia_alpha(self) -> float:
+        """The LIA aggressiveness factor (RFC 6356 §3.1)."""
+        fallback_rtt = float(self.params.initial_rto)
+        best = 0.0
+        denominator = 0.0
+        for flow in self.subflows:
+            rtt = flow.srtt if flow.srtt else fallback_rtt
+            best = max(best, flow.cwnd / (rtt * rtt))
+            denominator += flow.cwnd / rtt
+        if denominator <= 0:
+            return 1.0
+        return self.total_cwnd() * best / (denominator * denominator)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all subflows."""
+        for flow in self.subflows:
+            flow.start()
+
+    @property
+    def finished(self) -> bool:
+        """Whether all data has been delivered and acknowledged."""
+        return self.completed_at is not None
+
+    @property
+    def fct(self) -> int:
+        """Connection-level completion time in ticks."""
+        if self.completed_at is None:
+            raise RuntimeError("MPTCP connection has not completed")
+        return self.completed_at - self.started_at
+
+    def _on_subflow_done(self, sender: TcpSender) -> None:
+        if self.finished or self.pool_remaining > 0:
+            return
+        if all(flow.snd_una >= flow.source.available() for flow in self.subflows):
+            self.completed_at = self.sim.now
+            for receiver in self.receivers:
+                receiver.close()
+            for flow in self.subflows:
+                if not flow.finished:
+                    # Idle subflows never carried data; release their binding.
+                    flow.host.unbind(flow.flow_id)
+                    flow._rto_timer.stop()
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+
+__all__ = ["DEFAULT_SUBFLOWS", "LinkedIncreasesCC", "MptcpConnection"]

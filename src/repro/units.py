@@ -1,0 +1,124 @@
+"""Unit helpers and clock conventions.
+
+All simulation time is kept in **integer nanoseconds** so that event ordering
+is exact and runs are bit-for-bit reproducible.  All link rates are kept in
+**bits per second**, and all data sizes in **bytes**.  The helpers below are
+the only places where human-friendly units (Gbps, MB, microseconds, ...) are
+converted to the internal representation; use them everywhere instead of raw
+multipliers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time: integer nanoseconds.
+# ---------------------------------------------------------------------------
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+
+def nanoseconds(value: float) -> int:
+    """Convert a value in nanoseconds to clock ticks (identity, rounded)."""
+    return round(value)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer-nanosecond clock ticks."""
+    return round(value * MICROSECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer-nanosecond clock ticks."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer-nanosecond clock ticks."""
+    return round(value * SECOND)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert integer-nanosecond clock ticks to float seconds."""
+    return ticks / SECOND
+
+
+def to_microseconds(ticks: int) -> float:
+    """Convert integer-nanosecond clock ticks to float microseconds."""
+    return ticks / MICROSECOND
+
+
+def to_milliseconds(ticks: int) -> float:
+    """Convert integer-nanosecond clock ticks to float milliseconds."""
+    return ticks / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Rates: bits per second.
+# ---------------------------------------------------------------------------
+
+BPS = 1
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+
+def gbps(value: float) -> int:
+    """Convert gigabits per second to bits per second."""
+    return round(value * GBPS)
+
+
+def mbps(value: float) -> int:
+    """Convert megabits per second to bits per second."""
+    return round(value * MBPS)
+
+
+def to_gbps(rate_bps: float) -> float:
+    """Convert bits per second to gigabits per second."""
+    return rate_bps / GBPS
+
+
+# ---------------------------------------------------------------------------
+# Sizes: bytes.
+# ---------------------------------------------------------------------------
+
+BYTE = 1
+KILOBYTE = 1_000
+MEGABYTE = 1_000_000
+GIGABYTE = 1_000_000_000
+KIBIBYTE = 1_024
+MEBIBYTE = 1_048_576
+
+
+def kilobytes(value: float) -> int:
+    """Convert kilobytes (10^3 bytes) to bytes."""
+    return round(value * KILOBYTE)
+
+
+def megabytes(value: float) -> int:
+    """Convert megabytes (10^6 bytes) to bytes."""
+    return round(value * MEGABYTE)
+
+
+def gigabytes(value: float) -> int:
+    """Convert gigabytes (10^9 bytes) to bytes."""
+    return round(value * GIGABYTE)
+
+
+def transmission_time(size_bytes: int, rate_bps: int) -> int:
+    """Serialization delay, in integer nanoseconds, of ``size_bytes`` at ``rate_bps``.
+
+    Rounds up so that a byte is never transmitted in zero time on a finite
+    link; this keeps event ordering sane for tiny packets on fast links.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    bits = size_bytes * 8
+    return -(-bits * SECOND // rate_bps)  # ceiling division
+
+
+def bytes_at_rate(rate_bps: int, duration_ticks: int) -> int:
+    """How many whole bytes a link at ``rate_bps`` carries in ``duration_ticks``."""
+    return (rate_bps * duration_ticks) // (8 * SECOND)

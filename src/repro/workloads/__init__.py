@@ -1,0 +1,17 @@
+"""Empirical workloads: enterprise, data-mining, and web-search flow sizes."""
+
+from repro.workloads.distributions import (
+    DATA_MINING,
+    ENTERPRISE,
+    FlowSizeDistribution,
+    WEB_SEARCH,
+    WORKLOADS,
+)
+
+__all__ = [
+    "DATA_MINING",
+    "ENTERPRISE",
+    "FlowSizeDistribution",
+    "WEB_SEARCH",
+    "WORKLOADS",
+]

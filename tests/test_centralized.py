@@ -1,0 +1,120 @@
+"""Tests for the Hedera-style centralized scheduler baseline."""
+
+import pytest
+
+from repro.lb import CentralizedScheduler, CentralizedSelector, EcmpSelector
+from repro.net import Packet
+from repro.sim import Simulator, run_until_idle
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.transport import TcpFlow
+from repro.units import megabytes, milliseconds, seconds
+
+
+def _fabric(seed=1, hosts_per_leaf=4):
+    sim = Simulator(seed=seed)
+    fabric = build_leaf_spine(sim, scaled_testbed(hosts_per_leaf=hosts_per_leaf))
+    fabric.finalize(lambda leaf: CentralizedSelector(leaf))
+    return sim, fabric
+
+
+def _packet(sport, src=0, dst=4):
+    return Packet(src=src, dst=dst, size=1500, sport=sport, dport=80, flow_id=1)
+
+
+class TestCentralizedSelector:
+    def test_falls_back_to_ecmp_without_pins(self):
+        sim, fabric = _fabric()
+        selector = fabric.leaves[0].selector
+        packet = _packet(7)
+        choices = {selector.choose_uplink(packet, 1, [0, 1, 2, 3]) for _ in range(5)}
+        assert len(choices) == 1  # stable hash
+
+    def test_honours_pins(self):
+        sim, fabric = _fabric()
+        selector = fabric.leaves[0].selector
+        packet = _packet(7)
+        default = selector.choose_uplink(packet, 1, [0, 1, 2, 3])
+        pinned = (default + 1) % 4
+        selector.pinned[packet.five_tuple] = pinned
+        assert selector.choose_uplink(packet, 1, [0, 1, 2, 3]) == pinned
+
+    def test_pin_to_down_uplink_ignored(self):
+        sim, fabric = _fabric()
+        selector = fabric.leaves[0].selector
+        packet = _packet(7)
+        selector.pinned[packet.five_tuple] = 3
+        choice = selector.choose_uplink(packet, 1, [0, 1, 2])  # 3 not up
+        assert choice in (0, 1, 2)
+
+    def test_counts_bytes_per_flow(self):
+        sim, fabric = _fabric()
+        selector = fabric.leaves[0].selector
+        for _ in range(3):
+            selector.choose_uplink(_packet(7), 1, [0, 1, 2, 3])
+        selector.choose_uplink(_packet(8), 1, [0, 1, 2, 3])
+        counters = selector.drain_counters()
+        sizes = sorted(size for size, _dst in counters.values())
+        assert sizes == [1500, 4500]
+        assert selector.drain_counters() == {}  # reset
+
+
+class TestCentralizedScheduler:
+    def test_requires_centralized_selectors(self):
+        sim = Simulator()
+        fabric = build_leaf_spine(sim, scaled_testbed(hosts_per_leaf=2))
+        fabric.finalize(EcmpSelector.factory())
+        with pytest.raises(ValueError):
+            CentralizedScheduler(sim, fabric)
+
+    def test_validation(self):
+        sim, fabric = _fabric()
+        with pytest.raises(ValueError):
+            CentralizedScheduler(sim, fabric, interval=0)
+        with pytest.raises(ValueError):
+            CentralizedScheduler(sim, fabric, elephant_fraction=0.0)
+
+    def test_pins_elephants(self):
+        sim, fabric = _fabric()
+        scheduler = CentralizedScheduler(
+            sim, fabric, interval=milliseconds(1)
+        )
+        flows = [
+            TcpFlow(sim, fabric.host(i), fabric.host(4 + i), megabytes(4))
+            for i in range(4)
+        ]
+        for flow in flows:
+            flow.start()
+        sim.run(until=milliseconds(5))
+        assert scheduler.rounds >= 4
+        assert scheduler.pins_installed > 0
+        assert any(leaf.selector.pinned for leaf in fabric.leaves)
+        scheduler.stop()
+        sim.run(until=seconds(5))
+        assert all(flow.finished for flow in flows)
+
+    def test_mice_are_not_pinned(self):
+        sim, fabric = _fabric()
+        scheduler = CentralizedScheduler(
+            sim, fabric, interval=milliseconds(1), elephant_fraction=0.5
+        )
+        flow = TcpFlow(sim, fabric.host(0), fabric.host(4), 10_000)
+        flow.start()
+        sim.run(until=milliseconds(3))
+        assert scheduler.pins_installed == 0
+        scheduler.stop()
+
+    def test_scheduler_avoids_overloading_one_uplink(self):
+        """Two 10G-natural-demand elephants from different hosts must not
+        share one 10G uplink after a scheduling round."""
+        sim, fabric = _fabric()
+        CentralizedScheduler(sim, fabric, interval=milliseconds(1))
+        flows = [
+            TcpFlow(sim, fabric.host(i), fabric.host(4 + i), megabytes(8))
+            for i in range(2)
+        ]
+        for flow in flows:
+            flow.start()
+        sim.run(until=milliseconds(4))
+        pins = fabric.leaves[0].selector.pinned
+        if len(pins) == 2:
+            assert len(set(pins.values())) == 2  # distinct uplinks

@@ -1,0 +1,140 @@
+"""Tests for DCTCP: ECN marking, CE echo, and the alpha estimator."""
+
+import pytest
+
+from repro.apps import dctcp_flow_factory, tcp_flow_factory
+from repro.lb import CongaSelector
+from repro.net import DropTailQueue, Host, Packet, connect
+from repro.sim import Simulator, run_until_idle
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.transport import DctcpCC, TcpFlow, TcpReceiver
+from repro.transport.dctcp import DEFAULT_G
+from repro.units import gbps, kilobytes, megabytes
+
+
+class TestEcnMarking:
+    def test_queue_marks_above_threshold(self):
+        queue = DropTailQueue(1_000_000, ecn_threshold_bytes=3000)
+        packets = [Packet(src=0, dst=1, size=1500) for _ in range(4)]
+        for packet in packets:
+            queue.offer(packet)
+        # Occupancy before 3rd enqueue is 3000 >= K: packets 3 and 4 marked.
+        assert [p.ecn_ce for p in packets] == [False, False, True, True]
+        assert queue.stats.ecn_marked == 2
+
+    def test_no_threshold_means_no_marking(self):
+        queue = DropTailQueue(1_000_000)
+        packet = Packet(src=0, dst=1, size=1500)
+        for _ in range(100):
+            queue.offer(Packet(src=0, dst=1, size=1500))
+        queue.offer(packet)
+        assert not packet.ecn_ce
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(1000, ecn_threshold_bytes=0)
+
+
+class TestCeEcho:
+    def test_receiver_echoes_ce(self):
+        sim = Simulator()
+        h1 = Host(sim, 0, gbps(10))
+        h2 = Host(sim, 1, gbps(10))
+        connect(h1.nic, h2.nic)
+        acks = []
+        h1.bind(9, acks.append)
+        receiver = TcpReceiver(sim, h2, 0, flow_id=9)
+        marked = Packet(src=0, dst=1, size=1058, flow_id=9, seq=0,
+                        payload_len=1000, ecn_ce=True)
+        clean = Packet(src=0, dst=1, size=1058, flow_id=9, seq=1000,
+                       payload_len=1000)
+        receiver._on_packet(marked)
+        receiver._on_packet(clean)
+        run_until_idle(sim)
+        assert [a.ecn_echo for a in acks] == [True, False]
+
+
+class TestDctcpController:
+    def test_alpha_starts_at_zero(self):
+        assert DctcpCC().alpha == 0.0
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ValueError):
+            DctcpCC(g=0.0)
+        with pytest.raises(ValueError):
+            DctcpCC(g=1.5)
+
+    def test_alpha_rises_with_marks_and_decays_without(self):
+        sim = Simulator()
+        h1 = Host(sim, 0, gbps(10))
+        h2 = Host(sim, 1, gbps(10))
+        connect(h1.nic, h2.nic)
+        cc = DctcpCC()
+        flow = TcpFlow(sim, h1, h2, megabytes(1), cc=cc)
+        sender = flow.sender
+        sender.snd_nxt = 100_000  # pretend data is in flight
+        # Fully marked window:
+        cc.state.window_end = 0
+        sender.snd_una = 1
+        cc.on_ack(sender, 10_000, True)
+        assert cc.alpha == pytest.approx(DEFAULT_G * 1.0)
+        # Unmarked window decays alpha.
+        previous = cc.alpha
+        cc.state.window_end = 0
+        cc.on_ack(sender, 10_000, False)
+        assert cc.alpha == pytest.approx(previous * (1 - DEFAULT_G))
+
+    def test_reduction_proportional_to_alpha(self):
+        sim = Simulator()
+        h1 = Host(sim, 0, gbps(10))
+        h2 = Host(sim, 1, gbps(10))
+        connect(h1.nic, h2.nic)
+        cc = DctcpCC()
+        flow = TcpFlow(sim, h1, h2, megabytes(1), cc=cc)
+        sender = flow.sender
+        sender.cwnd = 100_000.0
+        sender.snd_una = 1
+        sender.snd_nxt = 50_000
+        cc.state.window_end = 0
+        cc.on_ack(sender, 10_000, True)
+        expected = 100_000.0 * (1 - cc.alpha / 2)
+        assert sender.cwnd == pytest.approx(expected)
+        assert cc.state.reductions == 1
+
+
+class TestEndToEnd:
+    def _run(self, factory, ecn):
+        sim = Simulator(seed=5)
+        fabric = build_leaf_spine(
+            sim,
+            scaled_testbed(hosts_per_leaf=4, ecn_threshold_bytes=ecn),
+        )
+        fabric.finalize(CongaSelector.factory())
+        flows = [
+            factory(fabric.host(i), fabric.host(4 + i), megabytes(4), lambda f: None)
+            for i in range(4)
+        ]
+        for flow in flows:
+            flow.start()
+        run_until_idle(sim)
+        max_queue = max(p.queue.stats.max_bytes for p in fabric.fabric_ports())
+        return flows, max_queue, fabric
+
+    def test_dctcp_controls_fabric_queues(self):
+        """The signature DCTCP result: near-K queues at full throughput."""
+        reno_flows, reno_queue, _ = self._run(tcp_flow_factory(), None)
+        dctcp_flows, dctcp_queue, fabric = self._run(
+            dctcp_flow_factory(), kilobytes(100)
+        )
+        assert all(f.finished for f in reno_flows + dctcp_flows)
+        assert dctcp_queue < reno_queue / 4
+        assert sum(p.queue.stats.ecn_marked for p in fabric.fabric_ports()) > 0
+        # Throughput is not sacrificed: completion times comparable.
+        reno_fct = max(f.fct for f in reno_flows)
+        dctcp_fct = max(f.fct for f in dctcp_flows)
+        assert dctcp_fct < reno_fct * 1.15
+
+    def test_dctcp_without_marking_behaves_like_reno(self):
+        flows, _q, fabric = self._run(dctcp_flow_factory(), None)
+        assert all(f.finished for f in flows)
+        assert all(f.sender.cc.alpha == 0.0 for f in flows)

@@ -1,0 +1,194 @@
+"""Tests for the fluid model and the §2.4 motivating scenarios."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fluid import (
+    FluidAllocation,
+    FluidDemand,
+    FluidLeafSpine,
+    FluidLink,
+    conga_split,
+    ecmp_split,
+    figure2_demand,
+    figure2_network,
+    figure3_network,
+    local_aware_split,
+)
+
+
+class TestFluidGraph:
+    def test_paths_through_spines(self):
+        net = figure2_network()
+        paths = net.paths("L0", "L1")
+        assert paths == [("L0", "S0", "L1"), ("L0", "S1", "L1")]
+
+    def test_missing_path_raises(self):
+        net = FluidLeafSpine([FluidLink("L0", "S0", 10)])
+        with pytest.raises(ValueError):
+            net.paths("L0", "L1")
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError):
+            FluidLeafSpine(
+                [FluidLink("L0", "S0", 10), FluidLink("L0", "S0", 20)]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluidLink("L0", "S0", 0)
+        with pytest.raises(ValueError):
+            FluidDemand("L0", "L1", -1)
+        with pytest.raises(ValueError):
+            FluidLeafSpine([])
+
+
+class TestFigure2:
+    """The asymmetric example: ECMP 90, local-aware 80, CONGA 100 Gbps."""
+
+    def test_ecmp_delivers_90(self):
+        alloc = ecmp_split(figure2_network(), figure2_demand())
+        assert alloc.total_throughput() == pytest.approx(90.0, abs=0.5)
+
+    def test_ecmp_splits_equally(self):
+        alloc = ecmp_split(figure2_network(), figure2_demand())
+        rates = list(alloc.splits[0].values())
+        assert rates == pytest.approx([50.0, 50.0])
+
+    def test_local_aware_delivers_only_80(self):
+        """Local schemes are WORSE than ECMP with asymmetry (2.4)."""
+        alloc = local_aware_split(figure2_network(), figure2_demand())
+        assert alloc.total_throughput() == pytest.approx(80.0, abs=0.5)
+
+    def test_local_aware_equalizes_uplink_rates(self):
+        alloc = local_aware_split(figure2_network(), figure2_demand())
+        rates = list(alloc.splits[0].values())
+        assert rates[0] == pytest.approx(rates[1], abs=0.1)
+
+    def test_conga_delivers_full_100(self):
+        alloc = conga_split(figure2_network(), figure2_demand())
+        assert alloc.total_throughput() == pytest.approx(100.0, abs=1.0)
+
+    def test_conga_split_is_two_to_one(self):
+        """Figure 2c: 66.6 Gbps upper, 33.3 Gbps lower."""
+        alloc = conga_split(figure2_network(), figure2_demand())
+        split = alloc.splits[0]
+        assert split[("L0", "S0", "L1")] == pytest.approx(66.7, abs=1.5)
+        assert split[("L0", "S1", "L1")] == pytest.approx(33.3, abs=1.5)
+
+    def test_conga_equalizes_path_utilization(self):
+        alloc = conga_split(figure2_network(), figure2_demand())
+        loads = alloc.link_loads()
+        upper = loads[("S0", "L1")] / 80.0
+        lower = loads[("S1", "L1")] / 40.0
+        assert upper == pytest.approx(lower, abs=0.02)
+
+    def test_scheme_ordering(self):
+        net, demand = figure2_network(), figure2_demand()
+        local = local_aware_split(net, demand).total_throughput()
+        ecmp = ecmp_split(net, demand).total_throughput()
+        conga = conga_split(net, demand).total_throughput()
+        assert local < ecmp < conga
+
+
+class TestFigure3:
+    """Optimal split depends on the traffic matrix, so static weights fail."""
+
+    def _conga_l1_split(self, l0_rate):
+        net = figure3_network()
+        demands = [FluidDemand("L1", "L2", 40.0)]
+        if l0_rate > 0:
+            demands.append(FluidDemand("L0", "L2", l0_rate))
+        alloc = conga_split(net, demands)
+        split = alloc.splits[0]
+        total = sum(split.values())
+        return split[("L1", "S0", "L2")] / total
+
+    def test_without_l0_traffic_l1_splits_evenly(self):
+        """Figure 3(a) -> symmetric case: about 50% through each spine."""
+        fraction = self._conga_l1_split(0.0)
+        assert fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_with_l0_traffic_l1_avoids_s0(self):
+        """Figure 3(b): with 40G of L0->L2, L1 shifts away from S0."""
+        fraction = self._conga_l1_split(40.0)
+        assert fraction < 0.2
+
+    def test_total_demand_always_delivered(self):
+        net = figure3_network()
+        demands = [FluidDemand("L1", "L2", 40.0), FluidDemand("L0", "L2", 40.0)]
+        alloc = conga_split(net, demands)
+        assert alloc.total_throughput() == pytest.approx(80.0, abs=1.0)
+
+    def test_static_weights_cannot_serve_both_matrices(self):
+        """The core argument of 2.4 against oblivious routing."""
+        net = figure3_network()
+        # Weights tuned for matrix (b) -- L1 mostly via S1:
+        for l0_rate, good_fraction in ((0.0, 0.5), (40.0, 0.0)):
+            # The optimal S0 fraction differs across matrices, so any single
+            # static fraction x is wrong for at least one matrix.
+            pass
+        best_for_a = 0.5
+        # Apply matrix (b) with the matrix-(a) weights: S0 overloads.
+        demands = [FluidDemand("L1", "L2", 40.0), FluidDemand("L0", "L2", 40.0)]
+        allocation = FluidAllocation(net, demands)
+        allocation.splits = [
+            {("L1", "S0", "L2"): 40.0 * best_for_a, ("L1", "S1", "L2"): 40.0 * (1 - best_for_a)},
+            {("L0", "S0", "L2"): 40.0},
+        ]
+        assert allocation.max_utilization() > 1.0  # congested
+        conga = conga_split(net, demands)
+        assert conga.max_utilization() <= 1.01
+
+
+class TestMaxMinFairness:
+    def test_single_bottleneck_shared_equally(self):
+        net = FluidLeafSpine(
+            [
+                FluidLink("L0", "S0", 100),
+                FluidLink("L1", "S0", 100),
+                FluidLink("S0", "L2", 60),
+            ]
+        )
+        demands = [FluidDemand("L0", "L2", 100), FluidDemand("L1", "L2", 100)]
+        alloc = ecmp_split(net, demands)
+        delivered = alloc.delivered_throughput()
+        assert delivered[0] == pytest.approx(30.0, abs=0.5)
+        assert delivered[1] == pytest.approx(30.0, abs=0.5)
+
+    def test_demand_caps_respected(self):
+        net = FluidLeafSpine(
+            [FluidLink("L0", "S0", 100), FluidLink("S0", "L1", 100)]
+        )
+        alloc = ecmp_split(net, [FluidDemand("L0", "L1", 30)])
+        assert alloc.delivered_throughput()[0] == pytest.approx(30.0)
+
+    def test_throughput_never_exceeds_capacity(self):
+        net = figure2_network()
+        alloc = ecmp_split(net, [FluidDemand("L0", "L1", 500)])
+        assert alloc.total_throughput() <= 120.0 + 1e-6
+
+    @given(rate=st.floats(min_value=1.0, max_value=300.0))
+    @settings(deadline=None, max_examples=25)
+    def test_conga_throughput_dominates_ecmp(self, rate):
+        """On the Fig. 2 asymmetry, CONGA >= ECMP for any demand level."""
+        net = figure2_network()
+        demands = [FluidDemand("L0", "L1", rate)]
+        ecmp = ecmp_split(net, demands).total_throughput()
+        conga = conga_split(net, demands).total_throughput()
+        assert conga >= ecmp - 0.7
+
+
+class TestAllocationAccounting:
+    def test_link_loads_sum_paths(self):
+        net = figure2_network()
+        alloc = ecmp_split(net, figure2_demand())
+        loads = alloc.link_loads()
+        assert loads[("L0", "S0")] == pytest.approx(50.0)
+        assert loads[("S1", "L1")] == pytest.approx(50.0)
+
+    def test_max_utilization(self):
+        net = figure2_network()
+        alloc = ecmp_split(net, figure2_demand())
+        # Bottleneck is the 40G link carrying 50: utilization 1.25.
+        assert alloc.max_utilization() == pytest.approx(1.25)

@@ -1,0 +1,281 @@
+"""Tests for the network substrate: packets, queues, ports, links, hosts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    ACK_BYTES,
+    DropTailQueue,
+    HEADER_BYTES,
+    Host,
+    Node,
+    OverlayHeader,
+    Packet,
+    Port,
+    ack_packet,
+    connect,
+    data_packet,
+)
+from repro.sim import Simulator
+from repro.units import gbps, transmission_time
+
+
+class TestPacket:
+    def test_data_packet_size_includes_headers(self):
+        packet = data_packet(
+            src=1, dst=2, sport=10, dport=20, flow_id=5, seq=0, payload_len=1460
+        )
+        assert packet.size == 1460 + HEADER_BYTES
+        assert not packet.is_ack
+
+    def test_ack_packet(self):
+        ack = ack_packet(src=2, dst=1, sport=20, dport=10, flow_id=5, ack_no=1460)
+        assert ack.is_ack
+        assert ack.size == ACK_BYTES
+        assert ack.ack_no == 1460
+
+    def test_five_tuple(self):
+        packet = data_packet(
+            src=1, dst=2, sport=10, dport=20, flow_id=5, seq=0, payload_len=100
+        )
+        assert packet.five_tuple == (1, 2, 10, 20, "tcp")
+
+    def test_end_seq(self):
+        packet = data_packet(
+            src=1, dst=2, sport=1, dport=1, flow_id=1, seq=1000, payload_len=500
+        )
+        assert packet.end_seq == 1500
+
+    def test_packet_ids_unique(self):
+        a = data_packet(src=1, dst=2, sport=1, dport=1, flow_id=1, seq=0, payload_len=1)
+        b = data_packet(src=1, dst=2, sport=1, dport=1, flow_id=1, seq=0, payload_len=1)
+        assert a.packet_id != b.packet_id
+
+    def test_overlay_header_defaults(self):
+        header = OverlayHeader(src_leaf=0, dst_leaf=1)
+        assert header.ce == 0
+        assert not header.fb_valid
+
+    def test_ack_echo_default(self):
+        ack = ack_packet(src=2, dst=1, sport=1, dport=1, flow_id=1, ack_no=0)
+        assert ack.echo == -1
+
+
+class TestDropTailQueue:
+    def _packet(self, size=1000):
+        return Packet(src=0, dst=1, size=size)
+
+    def test_fifo_order(self):
+        queue = DropTailQueue(10_000)
+        first, second = self._packet(), self._packet()
+        assert queue.offer(first)
+        assert queue.offer(second)
+        assert queue.poll() is first
+        assert queue.poll() is second
+        assert queue.poll() is None
+
+    def test_capacity_enforced_in_bytes(self):
+        queue = DropTailQueue(2500)
+        assert queue.offer(self._packet(1000))
+        assert queue.offer(self._packet(1000))
+        assert not queue.offer(self._packet(1000))  # would exceed 2500
+        assert queue.offer(self._packet(500))  # exactly fits
+        assert queue.stats.dropped_packets == 1
+        assert queue.stats.dropped_bytes == 1000
+
+    def test_occupancy_tracking(self):
+        queue = DropTailQueue(10_000)
+        queue.offer(self._packet(700))
+        queue.offer(self._packet(300))
+        assert queue.byte_occupancy == 1000
+        queue.poll()
+        assert queue.byte_occupancy == 300
+        assert queue.stats.max_bytes == 1000
+
+    def test_unbounded(self):
+        queue = DropTailQueue(None)
+        for _ in range(1000):
+            assert queue.offer(self._packet(10_000))
+        assert queue.byte_occupancy == 10_000_000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_sample_occupancy(self):
+        queue = DropTailQueue(10_000)
+        queue.offer(self._packet(500))
+        queue.sample_occupancy()
+        queue.poll()
+        queue.sample_occupancy()
+        assert queue.stats.samples == [500, 0]
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=2000), max_size=60))
+    def test_byte_conservation(self, sizes):
+        queue = DropTailQueue(5000)
+        for size in sizes:
+            queue.offer(Packet(src=0, dst=1, size=size))
+        drained = 0
+        while True:
+            packet = queue.poll()
+            if packet is None:
+                break
+            drained += packet.size
+        stats = queue.stats
+        assert stats.enqueued_bytes == drained
+        assert stats.enqueued_bytes + stats.dropped_bytes == sum(sizes)
+
+
+class _Sink(Node):
+    """Test node recording arrivals."""
+
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, port):
+        self.received.append((packet, port, self.sim.now))
+
+
+class TestPortAndLink:
+    def _pair(self, rate=gbps(10), delay=500, capacity=10_000_000):
+        sim = Simulator()
+        a = _Sink(sim, "a")
+        b = _Sink(sim, "b")
+        pa = a.add_port(rate, capacity)
+        pb = b.add_port(rate, capacity)
+        connect(pa, pb, delay)
+        return sim, a, b, pa, pb
+
+    def test_delivery_timing_is_exact(self):
+        sim, _a, b, pa, _pb = self._pair()
+        packet = Packet(src=0, dst=1, size=1500)
+        pa.send(packet)
+        sim.run()
+        serialization = transmission_time(1500, gbps(10))
+        assert b.received == [(packet, _pb_of(b), serialization + 500)]
+
+    def test_back_to_back_serialization(self):
+        sim, _a, b, pa, _pb = self._pair()
+        p1, p2 = Packet(src=0, dst=1, size=1500), Packet(src=0, dst=1, size=1500)
+        pa.send(p1)
+        pa.send(p2)
+        sim.run()
+        t1 = b.received[0][2]
+        t2 = b.received[1][2]
+        assert t2 - t1 == transmission_time(1500, gbps(10))
+
+    def test_connect_rejects_double_wiring(self):
+        sim = Simulator()
+        a, b, c = _Sink(sim, "a"), _Sink(sim, "b"), _Sink(sim, "c")
+        pa, pb, pc = (n.add_port(gbps(1)) for n in (a, b, c))
+        connect(pa, pb)
+        with pytest.raises(ValueError):
+            connect(pa, pc)
+
+    def test_send_without_peer_drops(self):
+        sim = Simulator()
+        a = _Sink(sim, "a")
+        pa = a.add_port(gbps(1))
+        assert not pa.send(Packet(src=0, dst=1, size=100))
+
+    def test_failed_link_drops_both_directions(self):
+        sim, a, b, pa, pb = self._pair()
+        pa.fail()
+        assert not pb.up
+        assert not pa.send(Packet(src=0, dst=1, size=100))
+        assert not pb.send(Packet(src=1, dst=0, size=100))
+        sim.run()
+        assert a.received == [] and b.received == []
+
+    def test_restore(self):
+        sim, _a, b, pa, _pb = self._pair()
+        pa.fail()
+        pa.restore()
+        assert pa.send(Packet(src=0, dst=1, size=100))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_queue_overflow_drops(self):
+        sim, _a, b, pa, _pb = self._pair(capacity=3000)
+        for _ in range(5):
+            pa.send(Packet(src=0, dst=1, size=1500))
+        sim.run()
+        # One packet in flight immediately + two queued (3000B) fit.
+        assert len(b.received) == 3
+        assert pa.queue.stats.dropped_packets == 2
+
+    def test_on_transmit_hook_fires_per_packet(self):
+        sim, _a, _b, pa, _pb = self._pair()
+        seen = []
+        pa.on_transmit.append(lambda packet: seen.append(packet.size))
+        pa.send(Packet(src=0, dst=1, size=700))
+        pa.send(Packet(src=0, dst=1, size=900))
+        sim.run()
+        assert seen == [700, 900]
+
+    def test_counters(self):
+        sim, _a, b, pa, pb = self._pair()
+        pa.send(Packet(src=0, dst=1, size=1500))
+        sim.run()
+        assert pa.tx_packets == 1 and pa.tx_bytes == 1500
+        assert pb.rx_packets == 1 and pb.rx_bytes == 1500
+
+    def test_hop_count_increments(self):
+        sim, _a, b, pa, _pb = self._pair()
+        packet = Packet(src=0, dst=1, size=100)
+        pa.send(packet)
+        sim.run()
+        assert packet.hops == 1
+
+    def test_rejects_bad_rate(self):
+        sim = Simulator()
+        node = _Sink(sim)
+        with pytest.raises(ValueError):
+            node.add_port(0)
+
+
+def _pb_of(node):
+    return node.ports[0]
+
+
+class TestHost:
+    def test_bind_and_deliver(self):
+        sim = Simulator()
+        h1 = Host(sim, 0, gbps(10))
+        h2 = Host(sim, 1, gbps(10))
+        connect(h1.nic, h2.nic)
+        got = []
+        h2.bind(42, got.append)
+        h1.send(Packet(src=0, dst=1, size=100, flow_id=42))
+        sim.run()
+        assert len(got) == 1
+
+    def test_unbound_flow_counted(self):
+        sim = Simulator()
+        h1 = Host(sim, 0, gbps(10))
+        h2 = Host(sim, 1, gbps(10))
+        connect(h1.nic, h2.nic)
+        h1.send(Packet(src=0, dst=1, size=100, flow_id=7))
+        sim.run()
+        assert h2.undelivered_packets == 1
+
+    def test_double_bind_rejected(self):
+        sim = Simulator()
+        host = Host(sim, 0, gbps(10))
+        host.bind(1, lambda p: None)
+        with pytest.raises(ValueError):
+            host.bind(1, lambda p: None)
+
+    def test_unbind_is_idempotent(self):
+        sim = Simulator()
+        host = Host(sim, 0, gbps(10))
+        host.bind(1, lambda p: None)
+        host.unbind(1)
+        host.unbind(1)  # no error
+
+    def test_node_receive_abstract(self):
+        sim = Simulator()
+        node = Node(sim, "n")
+        with pytest.raises(NotImplementedError):
+            node.receive(Packet(src=0, dst=1, size=1), None)

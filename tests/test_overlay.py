@@ -1,0 +1,129 @@
+"""Tests for the VXLAN-style overlay tunnel endpoint and feedback protocol."""
+
+import pytest
+
+from repro.net import Packet
+from repro.overlay import TunnelEndpoint, VXLAN_OVERHEAD
+from repro.sim import Simulator
+
+
+def _packet(size=1000):
+    return Packet(src=0, dst=10, size=size, sport=1, dport=2, flow_id=7)
+
+
+class TestEncapsulation:
+    def test_encap_sets_header_and_grows_packet(self):
+        tep = TunnelEndpoint(Simulator(), leaf_id=0, num_uplinks=4)
+        packet = _packet(1000)
+        tep.encapsulate(packet, dst_leaf=1, lbtag=2)
+        assert packet.size == 1000 + VXLAN_OVERHEAD
+        assert packet.overlay.src_leaf == 0
+        assert packet.overlay.dst_leaf == 1
+        assert packet.overlay.lbtag == 2
+        assert packet.overlay.ce == 0
+
+    def test_double_encap_rejected(self):
+        tep = TunnelEndpoint(Simulator(), leaf_id=0, num_uplinks=4)
+        packet = _packet()
+        tep.encapsulate(packet, dst_leaf=1, lbtag=0)
+        with pytest.raises(ValueError):
+            tep.encapsulate(packet, dst_leaf=1, lbtag=0)
+
+    def test_decap_restores_size(self):
+        sim = Simulator()
+        src = TunnelEndpoint(sim, leaf_id=0, num_uplinks=4)
+        dst = TunnelEndpoint(sim, leaf_id=1, num_uplinks=4)
+        packet = _packet(1000)
+        src.encapsulate(packet, dst_leaf=1, lbtag=0)
+        dst.decapsulate(packet)
+        assert packet.size == 1000
+        assert packet.overlay is None
+
+    def test_decap_requires_encap(self):
+        tep = TunnelEndpoint(Simulator(), leaf_id=0, num_uplinks=4)
+        with pytest.raises(ValueError):
+            tep.decapsulate(_packet())
+
+    def test_decap_wrong_leaf_rejected(self):
+        sim = Simulator()
+        src = TunnelEndpoint(sim, leaf_id=0, num_uplinks=4)
+        wrong = TunnelEndpoint(sim, leaf_id=2, num_uplinks=4)
+        packet = _packet()
+        src.encapsulate(packet, dst_leaf=1, lbtag=0)
+        with pytest.raises(ValueError):
+            wrong.decapsulate(packet)
+
+
+class TestFeedbackProtocol:
+    """The five-step leaf-to-leaf loop of 3.3, driven by hand."""
+
+    def test_ce_recorded_at_destination(self):
+        sim = Simulator()
+        a = TunnelEndpoint(sim, leaf_id=0, num_uplinks=4)
+        b = TunnelEndpoint(sim, leaf_id=1, num_uplinks=4)
+        packet = _packet()
+        a.encapsulate(packet, dst_leaf=1, lbtag=2)
+        packet.overlay.ce = 5  # fabric marked congestion on the way
+        b.decapsulate(packet)
+        assert b.from_leaf_table.select_feedback(0) == (2, 5)
+
+    def test_full_feedback_loop_updates_source_table(self):
+        sim = Simulator()
+        a = TunnelEndpoint(sim, leaf_id=0, num_uplinks=4)
+        b = TunnelEndpoint(sim, leaf_id=1, num_uplinks=4)
+
+        # Forward: A -> B on uplink 2, experiencing congestion 5.
+        forward = _packet()
+        a.encapsulate(forward, dst_leaf=1, lbtag=2)
+        forward.overlay.ce = 5
+        b.decapsulate(forward)
+
+        # Reverse: B -> A; B piggybacks its stored metric for A.
+        reverse = Packet(src=10, dst=0, size=64)
+        b.encapsulate(reverse, dst_leaf=0, lbtag=1)
+        assert reverse.overlay.fb_valid
+        assert (reverse.overlay.fb_lbtag, reverse.overlay.fb_metric) == (2, 5)
+        a.decapsulate(reverse)
+
+        # A's Congestion-To-Leaf table now knows path 2 toward B reads 5.
+        assert a.to_leaf_table.metric(dst_leaf=1, lbtag=2) == 5
+
+    def test_no_feedback_when_nothing_recorded(self):
+        sim = Simulator()
+        b = TunnelEndpoint(sim, leaf_id=1, num_uplinks=4)
+        reverse = Packet(src=10, dst=0, size=64)
+        b.encapsulate(reverse, dst_leaf=0, lbtag=0)
+        assert not reverse.overlay.fb_valid
+
+    def test_feedback_counters(self):
+        sim = Simulator()
+        a = TunnelEndpoint(sim, leaf_id=0, num_uplinks=2)
+        b = TunnelEndpoint(sim, leaf_id=1, num_uplinks=2)
+        forward = _packet()
+        a.encapsulate(forward, dst_leaf=1, lbtag=0)
+        b.decapsulate(forward)
+        reverse = Packet(src=10, dst=0, size=64)
+        b.encapsulate(reverse, dst_leaf=0, lbtag=0)
+        a.decapsulate(reverse)
+        assert b.feedback_sent == 1
+        assert a.feedback_received == 1
+        assert a.encapsulated == 1 and a.decapsulated == 1
+
+    def test_every_packet_carries_at_most_one_feedback_pair(self):
+        """Metrics for k uplinks need k reverse packets (3.3)."""
+        sim = Simulator()
+        a = TunnelEndpoint(sim, leaf_id=0, num_uplinks=4)
+        b = TunnelEndpoint(sim, leaf_id=1, num_uplinks=4)
+        for tag in range(4):
+            forward = _packet()
+            a.encapsulate(forward, dst_leaf=1, lbtag=tag)
+            forward.overlay.ce = tag + 1
+            b.decapsulate(forward)
+        fed_back = set()
+        for _ in range(4):
+            reverse = Packet(src=10, dst=0, size=64)
+            b.encapsulate(reverse, dst_leaf=0, lbtag=0)
+            fed_back.add((reverse.overlay.fb_lbtag, reverse.overlay.fb_metric))
+            a.decapsulate(reverse)
+        assert fed_back == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        assert a.to_leaf_table.metrics_toward(1) == [1, 2, 3, 4]

@@ -1,0 +1,47 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis import cdf_points, render_table, summarize_series
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], [30, 4.123456]])
+        lines = text.splitlines()
+        assert lines[0] == "=== T ==="
+        assert lines[1].startswith("a")
+        assert "2.5" in lines[2]
+        assert "4.12" in lines[3]  # 3 significant digits
+
+    def test_alignment(self):
+        text = render_table("T", ["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[2]) >= len("longer")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a", "b"], [[1]])
+
+    def test_non_numeric_cells(self):
+        text = render_table("T", ["scheme"], [["conga"], ["ecmp"]])
+        assert "conga" in text
+
+
+class TestSeriesSummaries:
+    def test_summarize(self):
+        summary = summarize_series([1.0, 2.0, 3.0, 4.0])
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points(list(range(100)))
+        values = [v for _q, v in points]
+        assert values == sorted(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+        with pytest.raises(ValueError):
+            cdf_points([])

@@ -1,0 +1,266 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import (
+    PeriodicTimer,
+    SimulationError,
+    Simulator,
+    Timer,
+    run_until_idle,
+)
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(42, lambda l=label: order.append(l))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+        assert sim.now == 100
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(77, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [77]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_events_scheduled_during_execution(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(5, lambda: order.append("nested"))
+
+        sim.schedule(10, first)
+        sim.schedule(12, lambda: order.append("second"))
+        sim.run()
+        # nested was scheduled for t=15, after "second" at t=12
+        assert order == ["first", "second", "nested"]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        Simulator.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestRunControl:
+    def test_run_until_pauses_clock(self):
+        sim = Simulator()
+        sim.schedule(1000, lambda: None)
+        assert sim.run(until=500) == 500
+        assert sim.now == 500
+        sim.run()
+        assert sim.now == 1000
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append("a"))
+        sim.schedule(300, lambda: seen.append("b"))
+        sim.run(until=200)
+        assert seen == ["a"]
+        sim.run(until=400)
+        assert seen == ["a", "b"]
+
+    def test_run_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=1234)
+        assert sim.now == 1234
+
+    def test_stop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: sim.schedule(5, lambda: seen.append("done")))
+        run_until_idle(sim)
+        assert seen == ["done"]
+        assert sim.pending_events == 0
+
+
+class TestRandomStreams:
+    def test_named_streams_are_stable(self):
+        sim = Simulator(seed=5)
+        a = sim.rng("x")
+        assert sim.rng("x") is a
+
+    def test_streams_are_independent_of_creation_order(self):
+        sim1 = Simulator(seed=5)
+        first = sim1.rng("a").integers(1000)
+        sim2 = Simulator(seed=5)
+        sim2.rng("b")  # creating another stream first must not matter
+        second = sim2.rng("a").integers(1000)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        draws1 = Simulator(seed=1).rng("x").integers(2**30, size=8)
+        draws2 = Simulator(seed=2).rng("x").integers(2**30, size=8)
+        assert list(draws1) != list(draws2)
+
+    def test_seed_property(self):
+        assert Simulator(seed=99).seed == 99
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(50)
+        sim.run()
+        assert fired == [50]
+
+    def test_restart_replaces_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(50)
+        sim.schedule(30, lambda: timer.start(100))
+        sim.run()
+        assert fired == [130]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(50)
+        timer.stop()
+        sim.run()
+        assert fired == []
+        assert not timer.running
+
+    def test_running_and_expiry(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        assert timer.expires_at is None
+        timer.start(10)
+        assert timer.running
+        assert timer.expires_at == 10
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 10, lambda: fired.append(sim.now))
+        sim.run(until=35)
+        timer.stop()
+        assert fired == [10, 20, 30]
+
+    def test_stop_and_restart(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 10, lambda: fired.append(sim.now))
+        sim.run(until=15)
+        timer.stop()
+        sim.run(until=50)
+        assert fired == [10]
+        timer.start()
+        sim.run(until=75)
+        timer.stop()
+        assert fired == [10, 60, 70]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0, lambda: None)
+
+    def test_jittered_period_stays_close(self):
+        sim = Simulator(seed=3)
+        fired = []
+        timer = PeriodicTimer(
+            sim, 1000, lambda: fired.append(sim.now), jitter_stream="j"
+        )
+        sim.run(until=100_000)
+        timer.stop()
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(950 <= gap <= 1050 for gap in gaps)
+        assert len(set(gaps)) > 1  # actually jittered
+
+
+class TestDeterminism:
+    @given(delays=st.lists(st.integers(min_value=0, max_value=10**6), max_size=50))
+    def test_arbitrary_schedules_execute_sorted(self, delays):
+        sim = Simulator()
+        seen = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: seen.append(d))
+        sim.run()
+        assert seen == sorted(delays, key=lambda d: (d,))
+        # Stable for equal keys: equal delays keep insertion order.
+        assert seen == sorted(delays)
+
+    def test_identical_runs_produce_identical_traces(self):
+        def run():
+            sim = Simulator(seed=11)
+            trace = []
+            rng = sim.rng("w")
+
+            def tick():
+                trace.append((sim.now, int(rng.integers(100))))
+                if sim.now < 1000:
+                    sim.schedule(int(rng.integers(1, 50)), tick)
+
+            sim.schedule(1, tick)
+            sim.run()
+            return trace
+
+        assert run() == run()

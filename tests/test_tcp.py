@@ -1,0 +1,390 @@
+"""Tests for the TCP model: windows, recovery, timers, receivers."""
+
+import pytest
+
+from repro.lb import EcmpSelector
+from repro.net import Host, Packet, connect
+from repro.sim import Simulator, run_until_idle
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.transport import (
+    DataSource,
+    INCAST_RECOMMENDED,
+    TcpFlow,
+    TcpParams,
+    TcpReceiver,
+    TcpSender,
+)
+from repro.transport.tcp import OPEN, RECOVERY, FlowRecord
+from repro.units import gbps, megabytes, milliseconds, microseconds
+
+
+def _two_hosts(rate=gbps(10), delay=500, queue=None):
+    sim = Simulator()
+    h1 = Host(sim, 0, rate)
+    h2 = Host(sim, 1, rate)
+    connect(h1.nic, h2.nic, delay)
+    return sim, h1, h2
+
+
+def _fabric_pair(seed=1, **cfg):
+    sim = Simulator(seed=seed)
+    fabric = build_leaf_spine(sim, scaled_testbed(hosts_per_leaf=2, **cfg))
+    fabric.finalize(EcmpSelector.factory())
+    return sim, fabric
+
+
+class TestTcpParams:
+    def test_defaults(self):
+        params = TcpParams()
+        assert params.mss == 1460
+        assert params.min_rto == milliseconds(200)
+        assert params.initial_cwnd == 10 * 1460
+
+    def test_incast_variant(self):
+        assert INCAST_RECOMMENDED.min_rto == milliseconds(1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"mss": 0}, {"min_rto": 0}, {"max_rto": 1, "min_rto": 2}, {"ack_every": 0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TcpParams(**kwargs)
+
+
+class TestBasicTransfer:
+    def test_small_flow_completes(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 10_000)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.finished
+        assert flow.receiver.bytes_received == 10_000
+
+    def test_large_flow_completes_near_line_rate(self):
+        sim, h1, h2 = _two_hosts()
+        size = megabytes(5)
+        flow = TcpFlow(sim, h1, h2, size)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.finished
+        # Wire time for 5 MB at 10 Gbps is 4 ms; allow 25% slack for
+        # slow-start ramp and per-segment overheads.
+        assert flow.fct < 1.25 * (size * 8 / 10)
+
+    def test_single_byte_flow(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 1)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.finished
+
+    def test_flow_size_not_multiple_of_mss(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 1460 * 3 + 123)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.finished
+        assert flow.receiver.bytes_received == 1460 * 3 + 123
+
+    def test_fct_positive_and_reported_once(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 50_000)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.fct > 0
+
+    def test_fct_before_completion_raises(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 50_000)
+        with pytest.raises(RuntimeError):
+            _ = flow.fct
+
+    def test_completion_callback(self):
+        sim, h1, h2 = _two_hosts()
+        done = []
+        flow = TcpFlow(sim, h1, h2, 10_000, on_complete=done.append)
+        flow.start()
+        run_until_idle(sim)
+        assert done == [flow]
+
+    def test_endpoints_unbound_after_completion(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 10_000)
+        flow.start()
+        run_until_idle(sim)
+        # A stray packet for the finished flow is counted, not delivered.
+        h1.receive(
+            Packet(src=1, dst=0, size=64, flow_id=flow.flow_id, is_ack=True),
+            h1.nic,
+        )
+        assert h1.undelivered_packets == 1
+
+    def test_rejects_nonpositive_size(self):
+        sim, h1, h2 = _two_hosts()
+        with pytest.raises(ValueError):
+            TcpFlow(sim, h1, h2, 0)
+
+
+class TestSlowStartAndAvoidance:
+    def test_cwnd_doubles_per_rtt_in_slow_start(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, megabytes(2))
+        flow.start()
+        initial = flow.sender.cwnd
+        sim.run(until=microseconds(50))  # ~ a few RTTs in
+        assert flow.sender.cwnd > 1.5 * initial
+
+    def test_congestion_avoidance_linear(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, megabytes(1))
+        flow.sender.ssthresh = flow.sender.cwnd  # force CA immediately
+        flow.start()
+        before = flow.sender.cwnd
+        sim.run(until=microseconds(30))
+        after = flow.sender.cwnd
+        # Grows, but far less than slow start's doubling per RTT.
+        assert before < after < before * 2
+
+    def test_window_limits_inflight(self):
+        sim, h1, h2 = _two_hosts()
+        params = TcpParams(receive_window=5 * 1460)
+        flow = TcpFlow(sim, h1, h2, megabytes(1), params=params)
+        flow.start()
+        sim.run(until=microseconds(5))
+        assert flow.sender.inflight <= 5 * 1460
+
+
+class TestRttEstimation:
+    def test_srtt_converges_to_path_rtt(self):
+        sim, h1, h2 = _two_hosts(delay=microseconds(10))
+        flow = TcpFlow(sim, h1, h2, megabytes(1))
+        flow.start()
+        run_until_idle(sim)
+        assert flow.sender.stats.rtt_samples > 10
+        # Base RTT is 2 * 10 us propagation plus serialization.
+        assert flow.sender.srtt > 2 * microseconds(10)
+        assert flow.sender.srtt < milliseconds(2)
+
+    def test_rto_clamped_to_min(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, 100_000)
+        flow.start()
+        run_until_idle(sim)
+        assert flow.sender.rto >= TcpParams().min_rto
+
+
+class TestLossRecovery:
+    def _lossy_transfer(self, queue_bytes, size=megabytes(1), params=None):
+        """Send through a bottleneck with a tiny queue to force drops."""
+        sim = Simulator(seed=2)
+        h1 = Host(sim, 0, gbps(10))
+        mid_in = Host(sim, 2, gbps(10))  # relay modelled by two hosts? no -
+        # Use a fabric with a tiny fabric queue instead: cleaner.
+        fabric = build_leaf_spine(
+            sim,
+            scaled_testbed(hosts_per_leaf=2, fabric_queue_bytes=queue_bytes),
+        )
+        fabric.finalize(EcmpSelector.factory())
+        flow = TcpFlow(
+            sim,
+            fabric.host(0),
+            fabric.host(2),
+            size,
+            params=params or TcpParams(min_rto=milliseconds(2), initial_rto=milliseconds(2)),
+        )
+        flow.start()
+        run_until_idle(sim)
+        return flow, fabric
+
+    def test_fast_retransmit_recovers_from_drops(self):
+        flow, fabric = self._lossy_transfer(queue_bytes=20_000)
+        assert flow.finished
+        assert fabric.total_fabric_drops() > 0
+        assert flow.sender.stats.retransmissions > 0
+        assert flow.receiver.rcv_nxt == megabytes(1)
+
+    def test_cwnd_halved_on_fast_retransmit(self):
+        sim, h1, h2 = _two_hosts()
+        flow = TcpFlow(sim, h1, h2, megabytes(1))
+        flow.start()
+        sim.run(until=microseconds(30))
+        sender = flow.sender
+        cwnd_before = sender.cwnd
+        inflight = sender.inflight
+        # Deliver 3 duplicate ACKs by hand.
+        for _ in range(3):
+            sender._on_packet(
+                Packet(
+                    src=1, dst=0, size=64, flow_id=flow.flow_id,
+                    is_ack=True, ack_no=sender.snd_una,
+                )
+            )
+        assert sender.state == RECOVERY
+        assert sender.ssthresh == pytest.approx(max(inflight / 2, 2 * 1460))
+        assert sender.stats.fast_retransmits == 1
+
+    def test_timeout_resets_to_one_mss(self):
+        sim, h1, h2 = _two_hosts()
+        params = TcpParams(min_rto=milliseconds(1), initial_rto=milliseconds(1))
+        flow = TcpFlow(sim, h1, h2, megabytes(1), params=params)
+        flow.start()
+        sim.run(until=microseconds(10))
+        # Cut the link so everything in flight dies, then wait out the RTO.
+        h1.nic.fail()
+        sim.run(until=sim.now + milliseconds(5))
+        assert flow.sender.stats.timeouts >= 1
+        assert flow.sender.cwnd == pytest.approx(1460)
+        # Restore and let it finish.
+        h1.nic.restore()
+        run_until_idle(sim)
+        assert flow.finished
+
+    def test_rto_exponential_backoff(self):
+        sim, h1, h2 = _two_hosts()
+        params = TcpParams(min_rto=milliseconds(1), initial_rto=milliseconds(1))
+        flow = TcpFlow(sim, h1, h2, megabytes(1), params=params)
+        flow.start()
+        sim.run(until=microseconds(10))
+        h1.nic.fail()
+        sim.run(until=sim.now + milliseconds(40))
+        # Backed-off RTOs: 1, 2, 4, 8, 16 ms -> about 5 timeouts in 40 ms.
+        assert 3 <= flow.sender.stats.timeouts <= 7
+
+    def test_transfer_survives_transient_blackhole(self):
+        sim, h1, h2 = _two_hosts()
+        params = TcpParams(min_rto=milliseconds(1), initial_rto=milliseconds(1))
+        flow = TcpFlow(sim, h1, h2, 500_000, params=params)
+        flow.start()
+        sim.run(until=microseconds(50))
+        h1.nic.fail()
+        sim.run(until=sim.now + milliseconds(3))
+        h1.nic.restore()
+        run_until_idle(sim)
+        assert flow.finished
+        assert flow.receiver.rcv_nxt == 500_000  # distinct bytes (dups excluded)
+
+
+class TestReceiver:
+    def _receiver(self, ack_every=1):
+        sim, h1, h2 = _two_hosts()
+        receiver = TcpReceiver(
+            sim, h2, 0, flow_id=500, params=TcpParams(ack_every=ack_every)
+        )
+        acks = []
+        h1.bind(500, acks.append)
+        return sim, receiver, acks
+
+    def _data(self, seq, length, fin=False):
+        return Packet(
+            src=0, dst=1, size=length + 58, flow_id=500,
+            seq=seq, payload_len=length, fin=fin, created_at=0,
+        )
+
+    def test_in_order_cumulative_acks(self):
+        sim, receiver, acks = self._receiver()
+        receiver._on_packet(self._data(0, 1000))
+        receiver._on_packet(self._data(1000, 1000))
+        run_until_idle(sim)
+        assert [a.ack_no for a in acks] == [1000, 2000]
+
+    def test_out_of_order_generates_dup_acks(self):
+        sim, receiver, acks = self._receiver()
+        receiver._on_packet(self._data(0, 1000))
+        receiver._on_packet(self._data(2000, 1000))  # hole at 1000
+        receiver._on_packet(self._data(3000, 1000))
+        run_until_idle(sim)
+        assert [a.ack_no for a in acks] == [1000, 1000, 1000]
+
+    def test_hole_filled_acks_jump(self):
+        sim, receiver, acks = self._receiver()
+        receiver._on_packet(self._data(0, 1000))
+        receiver._on_packet(self._data(2000, 1000))
+        receiver._on_packet(self._data(1000, 1000))  # fills the hole
+        run_until_idle(sim)
+        assert acks[-1].ack_no == 3000
+
+    def test_duplicate_segment_ignored_in_count(self):
+        sim, receiver, acks = self._receiver()
+        receiver._on_packet(self._data(0, 1000))
+        receiver._on_packet(self._data(0, 1000))  # pure duplicate
+        run_until_idle(sim)
+        assert receiver.rcv_nxt == 1000
+
+    def test_overlapping_segments_merge(self):
+        sim, receiver, _acks = self._receiver()
+        receiver._on_packet(self._data(1000, 2000))
+        receiver._on_packet(self._data(2000, 2000))
+        receiver._on_packet(self._data(0, 1000))
+        run_until_idle(sim)
+        assert receiver.rcv_nxt == 4000
+
+    def test_delayed_ack_coalesces(self):
+        sim, receiver, acks = self._receiver(ack_every=2)
+        receiver._on_packet(self._data(0, 1000))
+        receiver._on_packet(self._data(1000, 1000))
+        receiver._on_packet(self._data(2000, 1000))
+        receiver._on_packet(self._data(3000, 1000))
+        run_until_idle(sim)
+        assert [a.ack_no for a in acks] == [2000, 4000]
+
+    def test_fin_acked_immediately_despite_delack(self):
+        sim, receiver, acks = self._receiver(ack_every=2)
+        receiver._on_packet(self._data(0, 1000, fin=True))
+        run_until_idle(sim)
+        assert [a.ack_no for a in acks] == [1000]
+
+    def test_echo_carries_data_timestamp(self):
+        sim, receiver, acks = self._receiver()
+        packet = self._data(0, 1000)
+        packet.created_at = 12345
+        receiver._on_packet(packet)
+        run_until_idle(sim)
+        assert acks[0].echo == 12345
+
+
+class TestDataSource:
+    def test_fixed_source(self):
+        source = DataSource(1000)
+        assert source.available() == 1000
+        assert source.closed()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DataSource(0)
+
+
+class TestFlowRecord:
+    def test_normalized_fct(self):
+        record = FlowRecord(
+            flow_id=1, src=0, dst=1, size=100, start_time=0, fct=500, ideal_fct=100
+        )
+        assert record.normalized_fct == 5.0
+
+    def test_requires_ideal(self):
+        record = FlowRecord(
+            flow_id=1, src=0, dst=1, size=100, start_time=0, fct=500
+        )
+        with pytest.raises(ValueError):
+            _ = record.normalized_fct
+
+
+class TestFabricTransfers:
+    def test_cross_fabric_flow(self):
+        sim, fabric = _fabric_pair()
+        flow = TcpFlow(sim, fabric.host(0), fabric.host(2), megabytes(1))
+        flow.start()
+        run_until_idle(sim)
+        assert flow.finished
+        norm = flow.fct / fabric.ideal_fct(0, 2, megabytes(1))
+        assert norm < 1.5
+
+    def test_two_deterministic_runs_identical(self):
+        def run_once():
+            sim, fabric = _fabric_pair(seed=7)
+            flow = TcpFlow(sim, fabric.host(0), fabric.host(3), 300_000)
+            flow.start()
+            run_until_idle(sim)
+            return flow.fct
+
+        assert run_once() == run_once()

@@ -1,0 +1,209 @@
+"""Tests for synthetic traces and flowlet measurement analysis (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    FIGURE5_GAPS,
+    PacketTrace,
+    SyntheticTraceGenerator,
+    byte_median_size,
+    byte_weighted_cdf,
+    concurrency_per_window,
+    flowlet_sizes,
+)
+from repro.units import MICROSECOND, MILLISECOND
+from repro.workloads import WEB_SEARCH
+
+
+def _trace(times, flows, sizes):
+    return PacketTrace(
+        times=np.array(times, dtype=np.int64),
+        flows=np.array(flows, dtype=np.int64),
+        sizes=np.array(sizes, dtype=np.int64),
+    )
+
+
+class TestPacketTrace:
+    def test_validation_length(self):
+        with pytest.raises(ValueError):
+            _trace([1, 2], [0], [100])
+
+    def test_validation_sorted(self):
+        with pytest.raises(ValueError):
+            _trace([5, 1], [0, 0], [100, 100])
+
+    def test_totals(self):
+        trace = _trace([0, 10, 20], [0, 0, 1], [100, 200, 300])
+        assert trace.total_bytes == 600
+        assert trace.duration == 20
+
+
+class TestFlowletExtraction:
+    def test_single_flow_no_gaps(self):
+        trace = _trace([0, 10, 20], [0, 0, 0], [100, 100, 100])
+        sizes = flowlet_sizes(trace, gap=50)
+        assert list(sizes) == [300]
+
+    def test_gap_splits_flowlets(self):
+        trace = _trace([0, 10, 1000], [0, 0, 0], [100, 100, 100])
+        sizes = flowlet_sizes(trace, gap=50)
+        assert sorted(sizes) == [100, 200]
+
+    def test_gap_boundary_is_exclusive(self):
+        trace = _trace([0, 50], [0, 0], [100, 100])
+        assert list(flowlet_sizes(trace, gap=50)) == [200]  # gap == limit: same
+        assert sorted(flowlet_sizes(trace, gap=49)) == [100, 100]
+
+    def test_interleaved_flows_tracked_separately(self):
+        trace = _trace([0, 1, 2, 3], [0, 1, 0, 1], [10, 20, 30, 40])
+        sizes = flowlet_sizes(trace, gap=100)
+        assert sorted(sizes) == [40, 60]
+
+    def test_byte_conservation(self):
+        gen = SyntheticTraceGenerator(seed=9, workload=WEB_SEARCH)
+        trace = gen.generate(50)
+        for gap in (100 * MICROSECOND, 10 * MILLISECOND):
+            assert flowlet_sizes(trace, gap).sum() == trace.total_bytes
+
+    def test_smaller_gap_never_fewer_flowlets(self):
+        gen = SyntheticTraceGenerator(seed=10, workload=WEB_SEARCH)
+        trace = gen.generate(40)
+        n_100us = len(flowlet_sizes(trace, 100 * MICROSECOND))
+        n_500us = len(flowlet_sizes(trace, 500 * MICROSECOND))
+        n_250ms = len(flowlet_sizes(trace, 250 * MILLISECOND))
+        assert n_100us >= n_500us >= n_250ms
+
+    def test_rejects_bad_gap(self):
+        trace = _trace([0], [0], [1])
+        with pytest.raises(ValueError):
+            flowlet_sizes(trace, 0)
+
+
+class TestByteWeightedCdf:
+    def test_known_values(self):
+        sizes = np.array([100, 300])
+        probes = np.array([50, 100, 300])
+        cdf = byte_weighted_cdf(sizes, probes)
+        assert cdf == pytest.approx([0.0, 0.25, 1.0])
+
+    def test_monotone(self):
+        rng = np.random.default_rng(1)
+        sizes = rng.pareto(1.5, size=500) * 1000
+        probes = np.logspace(1, 8, 40)
+        cdf = byte_weighted_cdf(sizes, probes)
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            byte_weighted_cdf(np.array([]), np.array([1.0]))
+
+    def test_byte_median(self):
+        sizes = np.array([100, 100, 800])
+        assert byte_median_size(sizes) == 800
+
+
+class TestConcurrency:
+    def test_counts_distinct_flows(self):
+        window = MILLISECOND
+        trace = _trace(
+            [0, 1, 2, window + 1, window + 2],
+            [0, 1, 0, 2, 2],
+            [1, 1, 1, 1, 1],
+        )
+        counts = concurrency_per_window(trace, window)
+        assert list(counts) == [2, 1]
+
+    def test_empty_trace(self):
+        trace = _trace([], [], [])
+        assert len(concurrency_per_window(trace)) == 0
+
+    def test_rejects_bad_window(self):
+        trace = _trace([0], [0], [1])
+        with pytest.raises(ValueError):
+            concurrency_per_window(trace, 0)
+
+
+class TestSyntheticGenerator:
+    def test_generates_requested_flows(self):
+        gen = SyntheticTraceGenerator(seed=1, workload=WEB_SEARCH)
+        trace = gen.generate(30)
+        assert len(np.unique(trace.flows)) == 30
+
+    def test_packet_sizes_bounded_by_mtu(self):
+        gen = SyntheticTraceGenerator(seed=1, workload=WEB_SEARCH)
+        trace = gen.generate(20)
+        assert trace.sizes.max() <= 1500
+        assert trace.sizes.min() >= 1
+
+    def test_deterministic(self):
+        a = SyntheticTraceGenerator(seed=5, workload=WEB_SEARCH).generate(10)
+        b = SyntheticTraceGenerator(seed=5, workload=WEB_SEARCH).generate(10)
+        assert (a.times == b.times).all() and (a.sizes == b.sizes).all()
+
+    def test_bursts_at_line_rate(self):
+        gen = SyntheticTraceGenerator(seed=2, workload=WEB_SEARCH)
+        trace = gen.generate(5)
+        # Within one flow, minimum inter-packet spacing is the line-rate gap.
+        for flow in np.unique(trace.flows):
+            times = trace.times[trace.flows == flow]
+            if len(times) > 1:
+                gaps = np.diff(np.sort(times))
+                assert gaps.min() >= 1100  # ~1.2 us at 10 Gbps for 1500 B
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(burst_bytes=100, packet_bytes=1500)
+        with pytest.raises(ValueError):
+            SyntheticTraceGenerator(min_app_rate_bps=0)
+        gen = SyntheticTraceGenerator()
+        with pytest.raises(ValueError):
+            gen.generate(0)
+
+
+class TestFigure5Shape:
+    """The headline measurement: flowlets are ~2 orders finer than flows."""
+
+    def test_flowlet_gaps_shrink_byte_median(self):
+        gen = SyntheticTraceGenerator(seed=11)
+        trace = gen.generate(200)
+        medians = {
+            name: byte_median_size(flowlet_sizes(trace, gap))
+            for name, gap in FIGURE5_GAPS.items()
+        }
+        assert medians["flow-250ms"] > 10e6  # flows: tens of MB
+        assert medians["flowlet-500us"] < medians["flow-250ms"] / 30
+        assert medians["flowlet-100us"] <= medians["flowlet-500us"]
+
+    def test_concurrency_supports_small_table(self):
+        """2.6.1: concurrent flowlets are few, so a 64K table is ample."""
+        gen = SyntheticTraceGenerator(seed=12)
+        trace = gen.generate(400, arrival_rate_per_s=20_000.0)
+        counts = concurrency_per_window(trace)
+        assert counts.max() < 65_536 / 8
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        import numpy as np
+
+        gen = SyntheticTraceGenerator(seed=3, workload=WEB_SEARCH)
+        trace = gen.generate(20)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = PacketTrace.load(path)
+        assert (loaded.times == trace.times).all()
+        assert (loaded.flows == trace.flows).all()
+        assert (loaded.sizes == trace.sizes).all()
+
+    def test_loaded_trace_analyzable(self, tmp_path):
+        gen = SyntheticTraceGenerator(seed=3, workload=WEB_SEARCH)
+        trace = gen.generate(20)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = PacketTrace.load(path)
+        gap = 500 * MICROSECOND
+        assert (
+            flowlet_sizes(loaded, gap).sum()
+            == flowlet_sizes(trace, gap).sum()
+        )

@@ -1,0 +1,75 @@
+"""Tests for the UDP transport model."""
+
+import pytest
+
+from repro.net import Host, connect
+from repro.sim import Simulator, run_until_idle
+from repro.transport import UdpSink, UdpSource
+from repro.units import gbps, to_seconds
+
+
+def _pair():
+    sim = Simulator()
+    h1 = Host(sim, 0, gbps(10))
+    h2 = Host(sim, 1, gbps(10))
+    connect(h1.nic, h2.nic)
+    return sim, h1, h2
+
+
+class TestUdpSource:
+    def test_sends_all_bytes(self):
+        sim, h1, h2 = _pair()
+        sink = UdpSink(h2, flow_id=5)
+        source = UdpSource(sim, h1, 1, 100_000, gbps(1), flow_id=5)
+        source.start()
+        run_until_idle(sim)
+        assert source.done
+        assert sink.received_bytes == 100_000
+
+    def test_paced_at_requested_rate(self):
+        sim, h1, h2 = _pair()
+        sink = UdpSink(h2, flow_id=5)
+        size = 1_000_000
+        source = UdpSource(sim, h1, 1, size, gbps(1), flow_id=5)
+        source.start()
+        sim.run()  # plain run leaves the clock at the last event
+        elapsed = to_seconds(sim.now)
+        achieved = size * 8 / elapsed
+        assert achieved == pytest.approx(1e9, rel=0.1)
+
+    def test_respects_datagram_size(self):
+        sim, h1, h2 = _pair()
+        sink = UdpSink(h2, flow_id=5)
+        source = UdpSource(
+            sim, h1, 1, 10_000, gbps(1), flow_id=5, datagram_size=500
+        )
+        source.start()
+        run_until_idle(sim)
+        assert sink.received_packets == 20
+
+    def test_done_callback(self):
+        sim, h1, h2 = _pair()
+        UdpSink(h2, flow_id=5)
+        done = []
+        source = UdpSource(
+            sim, h1, 1, 5000, gbps(1), flow_id=5, on_done=done.append
+        )
+        source.start()
+        run_until_idle(sim)
+        assert done == [source]
+
+    def test_validation(self):
+        sim, h1, _h2 = _pair()
+        with pytest.raises(ValueError):
+            UdpSource(sim, h1, 1, 0, gbps(1))
+        with pytest.raises(ValueError):
+            UdpSource(sim, h1, 1, 100, 0)
+
+    def test_sink_close(self):
+        sim, h1, h2 = _pair()
+        sink = UdpSink(h2, flow_id=5)
+        sink.close()
+        source = UdpSource(sim, h1, 1, 5000, gbps(1), flow_id=5)
+        source.start()
+        run_until_idle(sim)
+        assert h2.undelivered_packets > 0

@@ -1,0 +1,97 @@
+"""Tests for unit conversions and clock conventions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_second_constant(self):
+        assert units.SECOND == 1_000_000_000
+
+    def test_microseconds(self):
+        assert units.microseconds(1) == 1_000
+        assert units.microseconds(160) == 160_000
+
+    def test_milliseconds(self):
+        assert units.milliseconds(200) == 200_000_000
+
+    def test_seconds(self):
+        assert units.seconds(1.5) == 1_500_000_000
+
+    def test_fractional_rounding(self):
+        assert units.microseconds(0.5) == 500
+        assert units.nanoseconds(1.4) == 1
+
+    def test_roundtrip(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+        assert units.to_microseconds(units.microseconds(37)) == pytest.approx(37)
+        assert units.to_milliseconds(units.milliseconds(13)) == pytest.approx(13)
+
+
+class TestRates:
+    def test_gbps(self):
+        assert units.gbps(10) == 10_000_000_000
+        assert units.gbps(0.5) == 500_000_000
+
+    def test_mbps(self):
+        assert units.mbps(100) == 100_000_000
+
+    def test_to_gbps(self):
+        assert units.to_gbps(units.gbps(40)) == pytest.approx(40.0)
+
+
+class TestSizes:
+    def test_decimal_sizes(self):
+        assert units.kilobytes(100) == 100_000
+        assert units.megabytes(10) == 10_000_000
+        assert units.gigabytes(1) == 1_000_000_000
+
+
+class TestTransmissionTime:
+    def test_basic(self):
+        # 1500 bytes at 10 Gbps = 1.2 us.
+        assert units.transmission_time(1500, units.gbps(10)) == 1200
+
+    def test_rounds_up(self):
+        # 1 byte at 10 Gbps = 0.8 ns -> 1 tick, never zero.
+        assert units.transmission_time(1, units.gbps(10)) == 1
+
+    def test_zero_bytes(self):
+        assert units.transmission_time(0, units.gbps(10)) == 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -5)
+
+    @given(
+        size=st.integers(min_value=0, max_value=10**9),
+        rate=st.sampled_from([10**9, 10**10, 4 * 10**10, 10**11]),
+    )
+    def test_never_underestimates(self, size, rate):
+        ticks = units.transmission_time(size, rate)
+        assert ticks * rate >= size * 8 * units.SECOND - rate
+
+    @given(
+        size=st.integers(min_value=1, max_value=10**8),
+        rate=st.sampled_from([10**9, 10**10, 4 * 10**10]),
+    )
+    def test_monotone_in_size(self, size, rate):
+        assert units.transmission_time(size + 1, rate) >= units.transmission_time(
+            size, rate
+        )
+
+
+class TestBytesAtRate:
+    def test_exact(self):
+        # 10 Gbps for 1 us = 1250 bytes.
+        assert units.bytes_at_rate(units.gbps(10), units.microseconds(1)) == 1250
+
+    def test_inverse_of_transmission_time(self):
+        rate = units.gbps(40)
+        size = 9000
+        ticks = units.transmission_time(size, rate)
+        assert units.bytes_at_rate(rate, ticks) >= size
