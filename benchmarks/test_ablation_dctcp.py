@@ -16,27 +16,30 @@ import numpy as np
 from conftest import report
 
 from repro.apps import (
+    ExperimentSpec,
     IncastClient,
+    SchemeSpec,
     dctcp_flow_factory,
-    run_fct_experiment,
+    register_scheme,
     tcp_flow_factory,
 )
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS, SchemeSpec
 from repro.lb import CongaSelector
 from repro.sim import Simulator
 from repro.topology import build_leaf_spine, scaled_testbed
 from repro.transport import TcpParams
 from repro.units import kilobytes, megabytes, seconds
-from repro.workloads import ENTERPRISE
 
 K = kilobytes(100)
 
 
 def _register_dctcp_scheme() -> None:
-    SCHEME_SPECS["conga-dctcp"] = SchemeSpec(
-        "conga-dctcp",
-        CongaSelector.factory,
-        lambda params: dctcp_flow_factory(params),
+    register_scheme(
+        SchemeSpec(
+            "conga-dctcp",
+            CongaSelector.factory,
+            lambda params: dctcp_flow_factory(params),
+        ),
+        replace=True,
     )
 
 
@@ -44,21 +47,19 @@ def _fct_comparison():
     _register_dctcp_scheme()
     results = {}
     for scheme, ecn in (("conga", None), ("conga-dctcp", K)):
-        result = run_fct_experiment(
-            scheme,
-            ENTERPRISE,
-            0.6,
+        # conga-dctcp is registered only in this process: run serially.
+        point = ExperimentSpec(
+            scheme=scheme,
+            workload="enterprise",
+            load=0.6,
             config=scaled_testbed(ecn_threshold_bytes=ecn),
             num_flows=250,
             size_scale=0.05,
             seed=31,
-        )
-        max_queue = max(
-            p.queue.stats.max_bytes for p in result.fabric.fabric_ports()
-        )
+        ).run()
         results[scheme] = {
-            "fct": result.summary.mean_normalized,
-            "max_fabric_queue": max_queue,
+            "fct": point.summary.mean_normalized,
+            "max_fabric_queue": point.fabric_max_queue_bytes,
         }
     return results
 

@@ -16,21 +16,22 @@ checks:
 
 from conftest import report
 
-from repro.apps import run_fct_experiment
+from repro.apps import ExperimentSpec, SchemeSpec, register_scheme
 from repro.core import CongaParams
 from repro.topology import scaled_testbed
 from repro.lb import CongaSelector
 from repro.lb.base import UplinkSelector
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS, SchemeSpec
 from repro.apps.traffic import tcp_flow_factory
 from repro.units import microseconds, milliseconds
-from repro.workloads import DATA_MINING
 
-SCENARIO = dict(
+TEMPLATE = ExperimentSpec(
+    scheme="ecmp",
+    workload="data-mining",
+    load=0.6,
     num_flows=150,
     size_scale=0.05,
     seed=7,
-    clients=list(range(8, 16)),
+    clients=range(8, 16),
     failed_links=[(1, 1, 0)],
 )
 
@@ -47,10 +48,15 @@ class SumMetricCongaSelector(CongaSelector):
 
 
 def _register(name: str, selector_factory) -> None:
-    SCHEME_SPECS[name] = SchemeSpec(name, lambda: selector_factory, tcp_flow_factory)
+    register_scheme(
+        SchemeSpec(name, lambda: selector_factory, tcp_flow_factory),
+        replace=True,
+    )
 
 
 def _run():
+    # Every variant registers a process-local scheme, so points run
+    # serially via spec.run() rather than through a worker pool.
     variants = {
         "default (Q=3, tau=160us, Tfl=500us)": CongaParams(),
         "Q=1": CongaParams(quantization_bits=1),
@@ -75,17 +81,16 @@ def _run():
         _register(name, CongaSelector.factory(params))
         # The parameter block must reach both the selector (flowlet table)
         # and the fabric (per-port DREs, congestion tables).
-        results[label] = run_fct_experiment(
-            name, DATA_MINING, 0.6,
-            config=scaled_testbed(params=params), **SCENARIO
-        ).summary.mean_normalized
+        results[label] = (
+            TEMPLATE.with_(scheme=name, config=scaled_testbed(params=params))
+            .run().summary.mean_normalized
+        )
     _register("ablation-sum-metric", SumMetricCongaSelector)
-    results["sum path metric (7)"] = run_fct_experiment(
-        "ablation-sum-metric", DATA_MINING, 0.6, **SCENARIO
-    ).summary.mean_normalized
-    results["ecmp (reference)"] = run_fct_experiment(
-        "ecmp", DATA_MINING, 0.6, **SCENARIO
-    ).summary.mean_normalized
+    results["sum path metric (7)"] = (
+        TEMPLATE.with_(scheme="ablation-sum-metric")
+        .run().summary.mean_normalized
+    )
+    results["ecmp (reference)"] = TEMPLATE.run().summary.mean_normalized
     return results
 
 

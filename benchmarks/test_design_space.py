@@ -19,18 +19,19 @@ far ahead.
 
 from conftest import report
 
-from repro.apps import run_fct_experiment
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS, SchemeSpec
+from repro.apps import ExperimentSpec, SchemeSpec, register_scheme
 from repro.apps.traffic import tcp_flow_factory
 from repro.lb import CentralizedScheduler, CentralizedSelector
 from repro.units import milliseconds
-from repro.workloads import DATA_MINING
 
-SCENARIO = dict(
+TEMPLATE = ExperimentSpec(
+    scheme="ecmp",
+    workload="data-mining",
+    load=0.6,
     num_flows=150,
     size_scale=0.05,
     seed=7,
-    clients=list(range(8, 16)),
+    clients=range(8, 16),
     failed_links=[(1, 1, 0)],
 )
 
@@ -39,28 +40,33 @@ INTERVALS_MS = [1, 10, 100]
 
 def _register_hedera(interval_ms: int) -> str:
     name = f"hedera-{interval_ms}ms"
-    SCHEME_SPECS[name] = SchemeSpec(
-        name,
-        lambda: CentralizedSelector,
-        tcp_flow_factory,
-        post_setup=lambda sim, fabric, ms=interval_ms: CentralizedScheduler(
-            sim, fabric, interval=milliseconds(ms)
+    register_scheme(
+        SchemeSpec(
+            name,
+            lambda: CentralizedSelector,
+            tcp_flow_factory,
+            post_setup=lambda sim, fabric, ms=interval_ms: CentralizedScheduler(
+                sim, fabric, interval=milliseconds(ms)
+            ),
         ),
+        replace=True,
     )
     return name
 
 
 def _run():
+    # Dynamically registered schemes only exist in this process, so these
+    # points run serially via spec.run() rather than through a worker pool.
     results = {}
     for scheme in ("ecmp", "local", "conga"):
-        results[scheme] = run_fct_experiment(
-            scheme, DATA_MINING, 0.6, **SCENARIO
-        ).summary.mean_normalized
+        results[scheme] = (
+            TEMPLATE.with_(scheme=scheme).run().summary.mean_normalized
+        )
     for interval in INTERVALS_MS:
         name = _register_hedera(interval)
-        results[name] = run_fct_experiment(
-            name, DATA_MINING, 0.6, **SCENARIO
-        ).summary.mean_normalized
+        results[name] = (
+            TEMPLATE.with_(scheme=name).run().summary.mean_normalized
+        )
     return results
 
 

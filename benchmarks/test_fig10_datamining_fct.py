@@ -10,26 +10,29 @@ distribution's coefficient of variation.
 from conftest import report
 
 from repro.analysis import relative_to
-from repro.apps import run_fct_experiment
-from repro.workloads import DATA_MINING
+from repro.apps import ExperimentSpec
+from repro.runner import run_sweep, sweep_grid
 
 LOADS = [0.3, 0.5, 0.7, 0.9]
 SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
 
+TEMPLATE = ExperimentSpec(
+    scheme="ecmp",
+    workload="data-mining",
+    load=0.5,
+    num_flows=200,
+    size_scale=0.02,
+    seed=31,
+)
+
 
 def _run():
-    results = {}
-    for load in LOADS:
-        for scheme in SCHEMES:
-            results[(scheme, load)] = run_fct_experiment(
-                scheme,
-                DATA_MINING,
-                load,
-                num_flows=200,
-                size_scale=0.02,
-                seed=31,
-            ).summary
-    return results
+    sweep = run_sweep(
+        sweep_grid(TEMPLATE, schemes=SCHEMES, loads=LOADS), cache=None
+    )
+    return {
+        (p.scheme, p.load): p.summary for p in sweep
+    }
 
 
 def test_figure10_datamining_fct(benchmark):

@@ -16,54 +16,62 @@ the direction that crosses the degraded link.
 import numpy as np
 from conftest import report
 
-from repro.apps import run_fct_experiment
-from repro.workloads import DATA_MINING, ENTERPRISE
+from repro.apps import ExperimentSpec, QueueMonitorSpec
+from repro.runner import run_sweep, sweep_grid
 
 LOADS = [0.3, 0.5, 0.7]
 SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
 
+# The surviving Spine1->Leaf1 downlink is the hotspot the paper samples.
+HOTSPOT = QueueMonitorSpec(tier="spine", direction="down", spine=1, leaf=1)
 
-def _hotspot_ports(fabric):
-    spine1 = fabric.spines[1]
-    return [spine1.ports[i] for i in spine1.ports_to_leaf(1)]
+
+def _specs():
+    specs = []
+    for workload, scale, flows in (
+        ("enterprise", 0.05, 200),
+        ("data-mining", 0.02, 150),
+    ):
+        template = ExperimentSpec(
+            scheme="ecmp",
+            workload=workload,
+            load=0.5,
+            num_flows=flows,
+            size_scale=scale,
+            seed=31,
+            clients=range(8, 16),
+            failed_links=[(1, 1, 0)],
+        )
+        specs.extend(sweep_grid(template, schemes=SCHEMES, loads=LOADS))
+    queue_template = ExperimentSpec(
+        scheme="ecmp",
+        workload="data-mining",
+        load=0.6,
+        num_flows=150,
+        size_scale=0.05,
+        seed=7,
+        clients=range(8, 16),
+        failed_links=[(1, 1, 0)],
+        queue_monitor=HOTSPOT,
+    )
+    specs.extend(sweep_grid(queue_template, schemes=SCHEMES))
+    return specs
 
 
 def _run():
-    fct = {}
-    for workload, scale, flows in (
-        (ENTERPRISE, 0.05, 200),
-        (DATA_MINING, 0.02, 150),
-    ):
-        for load in LOADS:
-            for scheme in SCHEMES:
-                result = run_fct_experiment(
-                    scheme,
-                    workload,
-                    load,
-                    num_flows=flows,
-                    size_scale=scale,
-                    seed=31,
-                    clients=list(range(8, 16)),
-                    failed_links=[(1, 1, 0)],
-                )
-                fct[(workload.name, scheme, load)] = result.summary.mean_normalized
-
+    sweep = run_sweep(_specs(), cache=None)
+    fct = {
+        (p.workload, p.scheme, p.load): p.summary.mean_normalized
+        for p in sweep
+        if p.spec.queue_monitor is None
+    }
     queues = {}
-    for scheme in SCHEMES:
-        result = run_fct_experiment(
-            scheme,
-            DATA_MINING,
-            0.6,
-            num_flows=150,
-            size_scale=0.05,
-            seed=7,
-            clients=list(range(8, 16)),
-            failed_links=[(1, 1, 0)],
-            monitor_queue_ports=_hotspot_ports,
-        )
-        port = _hotspot_ports(result.fabric)[0]
-        series = np.array(result.queues.series(port))
-        queues[scheme] = {
+    for point in sweep.select(load=0.6):
+        if point.spec.queue_monitor is None:
+            continue
+        hotspot = point.queue_series.port_names[0]
+        series = np.array(point.queue_series.series(hotspot))
+        queues[point.scheme] = {
             "mean": float(series.mean()),
             "p90": float(np.percentile(series, 90)),
         }

@@ -16,7 +16,7 @@ import numpy as np
 from conftest import report
 
 from repro.analysis import ThroughputImbalanceMonitor
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS
+from repro.apps import get_scheme
 from repro.apps.traffic import (
     CrossRackTraffic,
     bursty_tcp_flow_factory,
@@ -34,7 +34,7 @@ SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
 def _run_scheme(scheme: str, seed: int) -> np.ndarray:
     sim = Simulator(seed=seed)
     fabric = build_leaf_spine(sim, scaled_testbed())
-    spec = SCHEME_SPECS[scheme]
+    spec = get_scheme(scheme)
     fabric.finalize(spec.make_selector())
     if scheme == "mptcp":
         factory = mptcp_flow_factory(TcpParams())

@@ -17,7 +17,7 @@ import numpy as np
 from conftest import report
 
 from repro.apps import HdfsWriteJob, mptcp_flow_factory, tcp_flow_factory
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS
+from repro.apps import get_scheme
 from repro.sim import Simulator
 from repro.topology import build_leaf_spine, scaled_testbed
 from repro.transport import TcpParams
@@ -30,7 +30,7 @@ SCHEMES = ["ecmp", "conga", "mptcp"]
 def _one(scheme: str, fail: bool, seed: int) -> float:
     sim = Simulator(seed=seed)
     fabric = build_leaf_spine(sim, scaled_testbed(hosts_per_leaf=8))
-    spec = SCHEME_SPECS[scheme]
+    spec = get_scheme(scheme)
     fabric.finalize(spec.make_selector())
     if fail:
         fabric.fail_link(1, 1, 0)

@@ -13,9 +13,9 @@ only the access rate (and host count, to hold oversubscription) changes.
 
 from conftest import report
 
-from repro.apps import run_fct_experiment
+from repro.apps import ExperimentSpec
+from repro.runner import run_sweep, sweep_grid
 from repro.topology import scaled_testbed
-from repro.workloads import WEB_SEARCH
 
 LOADS = [0.3, 0.6]
 
@@ -31,22 +31,26 @@ def _config(access_gbps: float):
 
 
 def _run():
-    table = {}
+    specs = []
     for access in (2.5, 10.0):  # access << fabric vs access == fabric
-        config = _config(access)
-        for load in LOADS:
-            for scheme in ("ecmp", "conga"):
-                result = run_fct_experiment(
-                    scheme,
-                    WEB_SEARCH,
-                    load,
-                    config=config,
-                    num_flows=250,
-                    size_scale=0.1,
-                    seed=31,
-                )
-                table[(access, load, scheme)] = result.summary.mean_normalized
-    return table
+        template = ExperimentSpec(
+            scheme="ecmp",
+            workload="web-search",
+            load=0.3,
+            config=_config(access),
+            num_flows=250,
+            size_scale=0.1,
+            seed=31,
+        )
+        specs.extend(
+            sweep_grid(template, schemes=["ecmp", "conga"], loads=LOADS)
+        )
+    sweep = run_sweep(specs, cache=None)
+    return {
+        (p.spec.config.host_rate_bps / 1e9, p.load, p.scheme):
+            p.summary.mean_normalized
+        for p in sweep
+    }
 
 
 def test_figure15_access_link_speed(benchmark):

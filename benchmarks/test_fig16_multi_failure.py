@@ -15,7 +15,7 @@ import numpy as np
 from conftest import report
 
 from repro.analysis import QueueMonitor
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS
+from repro.apps import get_scheme
 from repro.apps.traffic import CrossRackTraffic
 from repro.sim import Simulator
 from repro.topology import build_leaf_spine, fail_random_links, scaled_testbed
@@ -35,7 +35,7 @@ def _run_scheme(scheme: str):
         fabric_gbps=5.0,
     )
     fabric = build_leaf_spine(sim, config)
-    spec = SCHEME_SPECS[scheme]
+    spec = get_scheme(scheme)
     fabric.finalize(spec.make_selector())
     fail_random_links(fabric, 9)
     monitor = QueueMonitor(sim, list(fabric.fabric_ports()))

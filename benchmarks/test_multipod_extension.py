@@ -12,7 +12,7 @@ web-search workload whose flows are a mix of intra- and inter-pod traffic.
 import numpy as np
 from conftest import report
 
-from repro.apps.experiment import SCHEMES as SCHEME_SPECS
+from repro.apps import get_scheme
 from repro.apps.traffic import CrossRackTraffic
 from repro.sim import Simulator
 from repro.topology import MultiPodConfig, build_multipod
@@ -32,7 +32,7 @@ def _run_scheme(scheme: str):
         links_per_pair=2,
     )
     fabric = build_multipod(sim, config)
-    spec = SCHEME_SPECS[scheme]
+    spec = get_scheme(scheme)
     fabric.finalize(spec.make_selector())
     fabric.fail_link(1, 1, 0)  # asymmetry inside pod 0
     traffic = CrossRackTraffic(

@@ -14,11 +14,10 @@ downstream bottleneck, while CONGA's leaf-to-leaf feedback handles both.
 Run:  python examples/custom_scheme.py
 """
 
-from repro.apps.experiment import SCHEMES, SchemeSpec, run_fct_experiment
+from repro.apps import ExperimentSpec, SchemeSpec, register_scheme
 from repro.apps.traffic import tcp_flow_factory
 from repro.lb.base import UplinkSelector
 from repro.net.packet import Packet
-from repro.workloads import DATA_MINING
 
 
 class LeastQueuedSelector(UplinkSelector):
@@ -36,29 +35,38 @@ class LeastQueuedSelector(UplinkSelector):
 
 
 def main() -> None:
-    # Register the custom scheme alongside the built-ins.
-    SCHEMES["least-queued"] = SchemeSpec(
-        "least-queued",
-        make_selector=lambda: LeastQueuedSelector,
-        make_flow_factory=tcp_flow_factory,
+    # Register the custom scheme alongside the built-ins; after this,
+    # "least-queued" works anywhere a scheme name does (ExperimentSpec,
+    # the CLI, compare_schemes).
+    register_scheme(
+        SchemeSpec(
+            "least-queued",
+            make_selector=lambda: LeastQueuedSelector,
+            make_flow_factory=tcp_flow_factory,
+        )
     )
 
+    base = ExperimentSpec(
+        scheme="ecmp",
+        workload="data-mining",
+        load=0.6,
+        num_flows=150,
+        size_scale=0.05,
+        seed=7,
+    )
     for failed, label in (([], "symmetric fabric"), ([(1, 1, 0)], "with a failed link")):
         print(f"\ndata-mining workload @60% load, {label}:")
         for scheme in ("ecmp", "least-queued", "conga"):
-            result = run_fct_experiment(
-                scheme,
-                DATA_MINING,
-                0.6,
-                num_flows=150,
-                size_scale=0.05,
-                seed=7,
-                clients=list(range(8, 16)) if failed else None,
+            # Dynamically registered schemes only exist in this process,
+            # so run the spec inline rather than through a worker pool.
+            point = base.with_(
+                scheme=scheme,
+                clients=range(8, 16) if failed else None,
                 failed_links=failed,
-            )
+            ).run()
             print(
                 f"  {scheme:14s} mean FCT (normalized): "
-                f"{result.summary.mean_normalized:6.1f}"
+                f"{point.summary.mean_normalized:6.1f}"
             )
 
 

@@ -17,7 +17,7 @@ Run:  python examples/link_failure_failover.py
 
 import numpy as np
 
-from repro.apps import run_fct_experiment
+from repro.apps import ExperimentSpec, QueueMonitorSpec
 from repro.fluid import (
     conga_split,
     ecmp_split,
@@ -25,7 +25,7 @@ from repro.fluid import (
     figure2_network,
     local_aware_split,
 )
-from repro.workloads import DATA_MINING
+from repro.runner import run_sweep, sweep_grid
 
 SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
 
@@ -47,26 +47,26 @@ def packet_level_failure() -> None:
     print("Packet-level: data-mining @60% load across the degraded fabric")
     print(f"{'scheme':12s} {'avg FCT (norm)':>15s} {'hotspot mean q':>15s}")
 
-    def hotspot_ports(fabric):
-        spine1 = fabric.spines[1]
-        return [spine1.ports[i] for i in spine1.ports_to_leaf(1)]
-
-    for scheme in SCHEMES:
-        result = run_fct_experiment(
-            scheme,
-            DATA_MINING,
-            0.6,
-            num_flows=150,
-            size_scale=0.05,
-            seed=7,
-            clients=list(range(8, 16)),  # load the leaf0 -> leaf1 direction
-            failed_links=[(1, 1, 0)],
-            monitor_queue_ports=hotspot_ports,
-        )
-        port = hotspot_ports(result.fabric)[0]
-        queue_kb = np.mean(result.queues.series(port)) / 1e3
+    template = ExperimentSpec(
+        scheme="ecmp",
+        workload="data-mining",
+        load=0.6,
+        num_flows=150,
+        size_scale=0.05,
+        seed=7,
+        clients=range(8, 16),  # load the leaf0 -> leaf1 direction
+        failed_links=[(1, 1, 0)],
+        # Sample the queue at the surviving Spine1->Leaf1 downlink.
+        queue_monitor=QueueMonitorSpec(
+            tier="spine", direction="down", spine=1, leaf=1
+        ),
+    )
+    sweep = run_sweep(sweep_grid(template, schemes=SCHEMES), cache=None)
+    for point in sweep:
+        hotspot = point.queue_series.port_names[0]
+        queue_kb = np.mean(point.queue_series.series(hotspot)) / 1e3
         print(
-            f"{scheme:12s} {result.summary.mean_normalized:15.1f} "
+            f"{point.scheme:12s} {point.summary.mean_normalized:15.1f} "
             f"{queue_kb:12.1f} KB"
         )
 

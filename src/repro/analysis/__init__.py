@@ -6,7 +6,12 @@ from repro.analysis.fct import (
     SMALL_FLOW_BYTES,
     relative_to,
 )
-from repro.analysis.monitors import QueueMonitor, ThroughputImbalanceMonitor
+from repro.analysis.monitors import (
+    ImbalanceSeries,
+    QueueMonitor,
+    QueueSeries,
+    ThroughputImbalanceMonitor,
+)
 from repro.analysis.report import (
     cdf_points,
     print_table,
@@ -16,8 +21,10 @@ from repro.analysis.report import (
 
 __all__ = [
     "FctSummary",
+    "ImbalanceSeries",
     "LARGE_FLOW_BYTES",
     "QueueMonitor",
+    "QueueSeries",
     "SMALL_FLOW_BYTES",
     "ThroughputImbalanceMonitor",
     "cdf_points",

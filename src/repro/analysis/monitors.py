@@ -10,6 +10,7 @@ benchmarks can build CDFs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -20,6 +21,78 @@ from repro.units import milliseconds
 
 if TYPE_CHECKING:
     from repro.sim import Simulator
+
+
+def _port_name(port) -> str:
+    """Accept either a live :class:`Port` or its name string."""
+    return port.name if isinstance(port, Port) else port
+
+
+@dataclass(frozen=True)
+class ImbalanceSeries:
+    """Picklable snapshot of a :class:`ThroughputImbalanceMonitor`.
+
+    Carries the raw per-window samples (fractions, not percent) so results
+    can cross a process boundary or live in an on-disk cache without
+    dragging the live monitor, simulator, or ports along.
+    """
+
+    interval: int
+    samples: tuple[float, ...]
+    sample_times: tuple[int, ...]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of recorded imbalance samples (percent)."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return float(np.percentile(np.array(self.samples) * 100.0, q))
+
+    def mean_percent(self) -> float:
+        """Mean imbalance in percent."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return float(np.mean(self.samples) * 100.0)
+
+    def samples_before(self, deadline: int) -> list[float]:
+        """Samples from windows that ended no later than ``deadline``."""
+        return [
+            value
+            for value, when in zip(self.samples, self.sample_times)
+            if when <= deadline
+        ]
+
+
+@dataclass(frozen=True)
+class QueueSeries:
+    """Picklable snapshot of a :class:`QueueMonitor`.
+
+    ``samples`` maps port name → occupancy series; ``port_names`` preserves
+    the monitor's port order so callers can address "the first hotspot
+    port" without a live fabric.  Lookup methods accept a ``Port`` or a
+    name string.
+    """
+
+    interval: int
+    samples: dict[str, tuple[int, ...]]
+    port_names: tuple[str, ...]
+
+    def series(self, port) -> tuple[int, ...]:
+        """The recorded occupancy series for ``port``."""
+        return self.samples[_port_name(port)]
+
+    def percentile(self, port, q: float) -> float:
+        """The ``q``-th percentile occupancy (bytes) at ``port``."""
+        series = self.series(port)
+        if not series:
+            raise ValueError(f"no samples recorded for {_port_name(port)}")
+        return float(np.percentile(series, q))
+
+    def mean(self, port) -> float:
+        """Mean occupancy (bytes) at ``port``."""
+        series = self.series(port)
+        if not series:
+            raise ValueError(f"no samples recorded for {_port_name(port)}")
+        return float(np.mean(series))
 
 
 class ThroughputImbalanceMonitor:
@@ -87,6 +160,14 @@ class ThroughputImbalanceMonitor:
             if when <= deadline
         ]
 
+    def snapshot(self) -> ImbalanceSeries:
+        """Freeze the recorded series into a picklable value object."""
+        return ImbalanceSeries(
+            interval=self.interval,
+            samples=tuple(self.samples),
+            sample_times=tuple(self.sample_times),
+        )
+
 
 class QueueMonitor:
     """Periodically samples byte occupancy of a set of queues (Fig. 11c/16)."""
@@ -135,5 +216,18 @@ class QueueMonitor:
             raise ValueError(f"no samples recorded for {port.name}")
         return float(np.mean(series))
 
+    def snapshot(self) -> QueueSeries:
+        """Freeze the recorded series into a picklable value object."""
+        return QueueSeries(
+            interval=self.interval,
+            samples={name: tuple(s) for name, s in self.samples.items()},
+            port_names=tuple(port.name for port in self.ports),
+        )
 
-__all__ = ["QueueMonitor", "ThroughputImbalanceMonitor"]
+
+__all__ = [
+    "ImbalanceSeries",
+    "QueueMonitor",
+    "QueueSeries",
+    "ThroughputImbalanceMonitor",
+]

@@ -4,11 +4,23 @@ from repro.apps.experiment import (
     ExperimentResult,
     SCHEMES,
     SchemeSpec,
+    UnknownSchemeError,
     compare_schemes,
+    execute_experiment,
+    get_scheme,
+    register_scheme,
     run_fct_experiment,
 )
 from repro.apps.hdfs import HdfsJobResult, HdfsWriteJob
 from repro.apps.incast import IncastClient, IncastResult
+from repro.apps.spec import (
+    ExperimentSpec,
+    ImbalanceMonitorSpec,
+    PointResult,
+    QueueMonitorSpec,
+    UnknownWorkloadError,
+    get_workload,
+)
 from repro.apps.traffic import (
     CrossRackTraffic,
     bursty_tcp_flow_factory,
@@ -22,18 +34,28 @@ from repro.apps.traffic import (
 __all__ = [
     "CrossRackTraffic",
     "ExperimentResult",
+    "ExperimentSpec",
     "FlowFactory",
     "HdfsJobResult",
     "HdfsWriteJob",
+    "ImbalanceMonitorSpec",
     "IncastClient",
     "IncastResult",
+    "PointResult",
+    "QueueMonitorSpec",
     "SCHEMES",
     "SchemeSpec",
     "TrafficStats",
+    "UnknownSchemeError",
+    "UnknownWorkloadError",
     "bursty_tcp_flow_factory",
     "compare_schemes",
     "dctcp_flow_factory",
+    "execute_experiment",
+    "get_scheme",
+    "get_workload",
     "mptcp_flow_factory",
+    "register_scheme",
     "run_fct_experiment",
     "tcp_flow_factory",
 ]

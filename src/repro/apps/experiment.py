@@ -15,6 +15,7 @@ definitions mirror §5's comparison set:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -67,20 +68,60 @@ def _mptcp(params: TcpParams) -> FlowFactory:
     return mptcp_flow_factory(params)
 
 
-SCHEMES: dict[str, SchemeSpec] = {
-    "ecmp": SchemeSpec("ecmp", EcmpSelector.factory, _tcp),
-    "conga": SchemeSpec("conga", CongaSelector.factory, _tcp),
-    "conga-flow": SchemeSpec("conga-flow", CongaFlowSelector.factory, _tcp),
-    "mptcp": SchemeSpec("mptcp", EcmpSelector.factory, _mptcp),
-    "local": SchemeSpec("local", LocalAwareSelector.factory, _tcp),
-    "spray": SchemeSpec("spray", PacketSpraySelector.factory, _tcp),
-    "hedera": SchemeSpec(
+class UnknownSchemeError(ValueError):
+    """Raised when a scheme name is not in the registry."""
+
+
+#: The scheme registry.  Read through :func:`get_scheme` and write through
+#: :func:`register_scheme`; the dict itself is kept public for backwards
+#: compatibility with code that enumerates or mutates it directly.
+SCHEMES: dict[str, SchemeSpec] = {}
+
+
+def register_scheme(spec: SchemeSpec, *, replace: bool = False) -> SchemeSpec:
+    """Add ``spec`` to the scheme registry under ``spec.name``.
+
+    Registering a name that already exists raises unless ``replace=True``
+    (benchmarks that re-register parameterized variants pass it).  Returns
+    the spec so registration can be used inline.
+    """
+    if not replace and spec.name in SCHEMES:
+        raise ValueError(
+            f"scheme {spec.name!r} is already registered; "
+            "pass replace=True to overwrite it"
+        )
+    SCHEMES[spec.name] = spec
+    return spec
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """Look up a registered scheme, with a helpful unknown-name error."""
+    spec = SCHEMES.get(name)
+    if spec is None:
+        known = ", ".join(sorted(SCHEMES))
+        raise UnknownSchemeError(
+            f"unknown scheme {name!r}; registered schemes: {known}. "
+            "Add new schemes with repro.apps.register_scheme(SchemeSpec(...))."
+        )
+    return spec
+
+
+for _spec in (
+    SchemeSpec("ecmp", EcmpSelector.factory, _tcp),
+    SchemeSpec("conga", CongaSelector.factory, _tcp),
+    SchemeSpec("conga-flow", CongaFlowSelector.factory, _tcp),
+    SchemeSpec("mptcp", EcmpSelector.factory, _mptcp),
+    SchemeSpec("local", LocalAwareSelector.factory, _tcp),
+    SchemeSpec("spray", PacketSpraySelector.factory, _tcp),
+    SchemeSpec(
         "hedera",
         lambda: CentralizedSelector,
         _tcp,
         post_setup=lambda sim, fabric: CentralizedScheduler(sim, fabric),
     ),
-}
+):
+    register_scheme(_spec)
+del _spec
 
 
 @dataclass
@@ -117,8 +158,8 @@ class ExperimentResult:
         return self.arrivals - self.completed
 
 
-def run_fct_experiment(
-    scheme: str,
+def execute_experiment(
+    spec: SchemeSpec,
     workload: FlowSizeDistribution,
     load: float,
     *,
@@ -132,9 +173,14 @@ def run_fct_experiment(
     monitor_imbalance_leaf: int | None = None,
     imbalance_interval: int | None = None,
     monitor_queue_ports: Callable[[Fabric], list] | None = None,
+    queue_interval: int | None = None,
     deadline: int = seconds(20),
 ) -> ExperimentResult:
-    """Run one (scheme, workload, load) point and return its results.
+    """Run one experiment point against a resolved :class:`SchemeSpec`.
+
+    This is the single execution path under both the declarative
+    :class:`repro.apps.spec.ExperimentSpec` API and the deprecated
+    :func:`run_fct_experiment` kwarg pile.
 
     ``failed_links`` is a list of (leaf_id, spine_id, which) tuples failed
     before traffic starts — e.g. ``[(1, 1, 0)]`` reproduces Figure 7(b).
@@ -142,9 +188,6 @@ def run_fct_experiment(
     leaf's uplinks.  ``monitor_queue_ports`` selects ports for occupancy
     sampling (Fig. 11c / Fig. 16).
     """
-    spec = SCHEMES.get(scheme)
-    if spec is None:
-        raise ValueError(f"unknown scheme {scheme!r}; have {sorted(SCHEMES)}")
     if config is None:
         config = scaled_testbed()
     sim = Simulator(seed=seed)
@@ -166,7 +209,9 @@ def run_fct_experiment(
         imbalance.start()
     queues = None
     if monitor_queue_ports is not None:
-        queues = QueueMonitor(sim, monitor_queue_ports(fabric))
+        queues = QueueMonitor(
+            sim, monitor_queue_ports(fabric), queue_interval or milliseconds(1)
+        )
         queues.start()
 
     traffic = CrossRackTraffic(
@@ -188,7 +233,7 @@ def run_fct_experiment(
     if queues is not None:
         queues.stop()
     return ExperimentResult(
-        scheme=scheme,
+        scheme=spec.name,
         workload=workload.name,
         load=load,
         records=traffic.stats.records,
@@ -201,6 +246,34 @@ def run_fct_experiment(
     )
 
 
+def run_fct_experiment(
+    scheme: str,
+    workload: FlowSizeDistribution,
+    load: float,
+    **kwargs,
+) -> ExperimentResult:
+    """Deprecated shim: run one experiment point from a scheme *name*.
+
+    .. deprecated::
+        Prefer the declarative, serializable API::
+
+            from repro.apps import ExperimentSpec
+            PointResult = ExperimentSpec("conga", "data-mining", 0.6).run()
+
+        which can be fanned out and cached by :func:`repro.runner.run_sweep`.
+        This wrapper remains for callers that need live ``Simulator``/
+        ``Fabric`` access or callable monitor hooks, and accepts the same
+        13-kwarg pile it always did.
+    """
+    warnings.warn(
+        "run_fct_experiment is deprecated; build an ExperimentSpec and use "
+        "spec.run() or repro.runner.run_sweep (see EXPERIMENTS.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return execute_experiment(get_scheme(scheme), workload, load, **kwargs)
+
+
 def compare_schemes(
     schemes: list[str],
     workload: FlowSizeDistribution,
@@ -209,7 +282,7 @@ def compare_schemes(
 ) -> dict[str, ExperimentResult]:
     """Run several schemes on the identical scenario (same seed/workload)."""
     return {
-        scheme: run_fct_experiment(scheme, workload, load, **kwargs)
+        scheme: execute_experiment(get_scheme(scheme), workload, load, **kwargs)
         for scheme in schemes
     }
 
@@ -218,6 +291,10 @@ __all__ = [
     "ExperimentResult",
     "SCHEMES",
     "SchemeSpec",
+    "UnknownSchemeError",
     "compare_schemes",
+    "execute_experiment",
+    "get_scheme",
+    "register_scheme",
     "run_fct_experiment",
 ]

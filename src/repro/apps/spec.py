@@ -1,0 +1,370 @@
+"""Declarative experiment specifications (the sweep-able experiment API).
+
+:func:`repro.apps.run_fct_experiment` grew a 13-kwarg signature whose
+callable arguments (``monitor_queue_ports``, flow factories hidden inside
+:class:`SchemeSpec`) cannot cross a process boundary or be hashed for
+caching.  This module replaces that surface with value objects:
+
+* :class:`ExperimentSpec` — a frozen, fully picklable description of one
+  experiment point.  Schemes and workloads are referenced by registry
+  *name*, topology by :class:`LeafSpineConfig`, and monitors by declarative
+  :class:`QueueMonitorSpec` / :class:`ImbalanceMonitorSpec` values instead
+  of callables.  ``spec.run()`` executes the point; ``spec.content_hash()``
+  is a stable content address used by the :mod:`repro.runner` result cache.
+* :class:`PointResult` — everything a benchmark needs from one run, with no
+  live ``Simulator``/``Fabric`` attached, so it pickles cleanly back from a
+  worker process and into the on-disk cache.
+
+Because every random draw in a run comes from a named per-``Simulator``
+stream and all flow hashing is process-stable, ``spec.run()`` is a pure
+function of the spec: the same spec yields bit-identical results whether it
+runs inline, on one worker, or on sixteen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.analysis.fct import FctSummary
+from repro.analysis.monitors import ImbalanceSeries, QueueSeries
+from repro.apps.experiment import ExperimentResult, execute_experiment, get_scheme
+from repro.topology.leafspine import LeafSpineConfig
+from repro.transport.tcp import FlowRecord, TcpParams
+from repro.units import milliseconds, seconds
+from repro.workloads import WORKLOADS
+
+if TYPE_CHECKING:
+    from repro.net.port import Port
+    from repro.switch.fabric import Fabric
+
+
+class UnknownWorkloadError(ValueError):
+    """Raised when a workload name is not in ``repro.workloads.WORKLOADS``."""
+
+
+def get_workload(name: str):
+    """Look up a workload distribution by registry name."""
+    dist = WORKLOADS.get(name)
+    if dist is None:
+        known = ", ".join(sorted(WORKLOADS))
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available workloads: {known}"
+        )
+    return dist
+
+
+@dataclass(frozen=True)
+class QueueMonitorSpec:
+    """Declarative port selection for queue-occupancy sampling.
+
+    Replaces the old ``monitor_queue_ports`` callable with a value that can
+    be hashed and pickled.  ``tier`` picks which side of the fabric links to
+    sample:
+
+    * ``"spine"`` — spine→leaf downlink ports (Fig. 11c's hotspot view),
+      optionally restricted to one ``spine`` and/or the ports facing one
+      ``leaf``;
+    * ``"leaf"`` — leaf→spine uplink ports, optionally restricted to one
+      ``leaf`` and/or the ports facing one ``spine``;
+    * ``"fabric"`` — every fabric port in both directions (Fig. 16).
+
+    ``direction`` is implied by the tier (spine ports point down, leaf
+    uplinks point up) and is validated for readability at call sites, e.g.
+    ``QueueMonitorSpec(tier="spine", direction="down", spine=1, leaf=1)``.
+    Failed ports are excluded, matching how the figures monitor surviving
+    hotspot links.
+    """
+
+    tier: str = "spine"
+    direction: str = "down"
+    leaf: int | None = None
+    spine: int | None = None
+    interval: int = field(default_factory=lambda: milliseconds(1))
+
+    _DIRECTIONS = {"spine": "down", "leaf": "up", "fabric": "both"}
+
+    def __post_init__(self) -> None:
+        expected = self._DIRECTIONS.get(self.tier)
+        if expected is None:
+            raise ValueError(
+                f"tier must be one of {sorted(self._DIRECTIONS)}, got {self.tier!r}"
+            )
+        if self.direction != expected:
+            raise ValueError(
+                f"tier {self.tier!r} samples {expected!r} ports, "
+                f"not {self.direction!r}"
+            )
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+    def resolve(self, fabric: "Fabric") -> list["Port"]:
+        """Materialize the selected ports on a built fabric."""
+        ports: list[Port] = []
+        if self.tier == "fabric":
+            ports = [port for port in fabric.fabric_ports() if port.up]
+        elif self.tier == "spine":
+            spines = (
+                fabric.spines
+                if self.spine is None
+                else [fabric.spines[self.spine]]
+            )
+            for spine in spines:
+                if self.leaf is not None:
+                    ports.extend(
+                        spine.ports[i] for i in spine.ports_to_leaf(self.leaf)
+                    )
+                else:
+                    ports.extend(port for port in spine.ports if port.up)
+        else:  # leaf uplinks
+            leaves = (
+                fabric.leaves if self.leaf is None else [fabric.leaves[self.leaf]]
+            )
+            for leaf in leaves:
+                for index, port in enumerate(leaf.uplinks):
+                    if not port.up:
+                        continue
+                    if (
+                        self.spine is not None
+                        and leaf.uplink_spine[index].spine_id != self.spine
+                    ):
+                        continue
+                    ports.append(port)
+        if not ports:
+            raise ValueError(f"{self!r} selected no live ports on this fabric")
+        return ports
+
+
+@dataclass(frozen=True)
+class ImbalanceMonitorSpec:
+    """Declarative Fig.-12-style throughput-imbalance monitor on one leaf.
+
+    ``interval`` of ``None`` keeps the scaled-run default (1 ms windows
+    instead of the paper's 10 ms).
+    """
+
+    leaf: int = 0
+    interval: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+
+def _canonical(value):
+    """Reduce a spec value to plain JSON-able data, stably."""
+    if is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            f.name: _canonical(getattr(value, f.name)) for f in fields(value)
+        }
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for content hashing"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A frozen, serializable description of one (scheme, workload, load) point.
+
+    Every field is a value — names, numbers, tuples, frozen dataclasses —
+    so a spec can be pickled to a worker process, compared for equality,
+    and content-hashed for the result cache.  ``clients`` and
+    ``failed_links`` accept any iterable and are normalized to tuples.
+    """
+
+    scheme: str
+    workload: str
+    load: float
+    seed: int = 1
+    num_flows: int = 400
+    size_scale: float = 0.1
+    clients: tuple[int, ...] | None = None
+    config: LeafSpineConfig | None = None
+    tcp_params: TcpParams = field(default_factory=TcpParams)
+    failed_links: tuple[tuple[int, int, int], ...] = ()
+    queue_monitor: QueueMonitorSpec | None = None
+    imbalance_monitor: ImbalanceMonitorSpec | None = None
+    deadline: int = field(default_factory=lambda: seconds(20))
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load}")
+        if self.num_flows < 1:
+            raise ValueError(f"need at least one flow, got {self.num_flows}")
+        if self.clients is not None:
+            object.__setattr__(self, "clients", tuple(self.clients))
+        object.__setattr__(
+            self,
+            "failed_links",
+            tuple(tuple(link) for link in self.failed_links),
+        )
+
+    # -- identity -----------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Stable content address of this spec + the package version.
+
+        Identical specs hash identically across processes and sessions;
+        any field change — or a new ``repro`` release, which may change
+        simulation behaviour — changes the hash, which is what keys the
+        :mod:`repro.runner` on-disk cache.
+        """
+        from repro import __version__
+
+        payload = _canonical(self)
+        payload["__repro_version__"] = __version__
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable point label for progress lines and tables."""
+        return (
+            f"{self.scheme} {self.workload} load={self.load:g} seed={self.seed}"
+        )
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with the given fields replaced (sweep-building helper)."""
+        return replace(self, **changes)
+
+    # -- execution ----------------------------------------------------------
+
+    def run_live(self) -> ExperimentResult:
+        """Execute and return the live result (simulator, fabric, monitors).
+
+        For callers that need to poke at CONGA tables or port counters
+        afterwards.  Not picklable; use :meth:`run` for anything that
+        crosses a process boundary.
+        """
+        return execute_experiment(
+            get_scheme(self.scheme),
+            get_workload(self.workload),
+            self.load,
+            config=self.config,
+            seed=self.seed,
+            num_flows=self.num_flows,
+            size_scale=self.size_scale,
+            clients=list(self.clients) if self.clients is not None else None,
+            tcp_params=self.tcp_params,
+            failed_links=[list(link) for link in self.failed_links],
+            monitor_imbalance_leaf=(
+                self.imbalance_monitor.leaf if self.imbalance_monitor else None
+            ),
+            imbalance_interval=(
+                self.imbalance_monitor.interval if self.imbalance_monitor else None
+            ),
+            monitor_queue_ports=(
+                self.queue_monitor.resolve if self.queue_monitor else None
+            ),
+            queue_interval=(
+                self.queue_monitor.interval if self.queue_monitor else None
+            ),
+            deadline=self.deadline,
+        )
+
+    def run(self) -> "PointResult":
+        """Execute this point and return a picklable :class:`PointResult`."""
+        started = perf_counter()
+        live = self.run_live()
+        wall = perf_counter() - started
+        return PointResult.from_live(self, live, wall_seconds=wall)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Everything a benchmark needs from one run — and nothing live.
+
+    Unlike :class:`ExperimentResult` this carries no ``Simulator`` or
+    ``Fabric``, so it crosses the worker pipe and lives in the on-disk
+    cache.  Monitor outputs come as frozen series snapshots; fabric-side
+    aggregates that benchmarks read (drops, peak queue depth) are captured
+    as scalars before the fabric is dropped.
+    """
+
+    spec: ExperimentSpec
+    summary: FctSummary | None
+    records: tuple[FlowRecord, ...]
+    arrivals: int
+    completed: int
+    fabric_drops: int
+    fabric_max_queue_bytes: int
+    end_time: int
+    events_executed: int
+    wall_seconds: float
+    queue_series: QueueSeries | None = None
+    imbalance_series: ImbalanceSeries | None = None
+    from_cache: bool = False
+
+    @staticmethod
+    def from_live(
+        spec: ExperimentSpec,
+        live: ExperimentResult,
+        *,
+        wall_seconds: float,
+    ) -> "PointResult":
+        """Strip a live :class:`ExperimentResult` down to picklable values."""
+        max_queue = max(
+            (p.queue.stats.max_bytes for p in live.fabric.fabric_ports()),
+            default=0,
+        )
+        return PointResult(
+            spec=spec,
+            summary=FctSummary.from_records(live.records) if live.records else None,
+            records=tuple(live.records),
+            arrivals=live.arrivals,
+            completed=live.completed,
+            fabric_drops=live.fabric.total_fabric_drops(),
+            fabric_max_queue_bytes=max_queue,
+            end_time=live.sim.now,
+            events_executed=live.sim.events_executed,
+            wall_seconds=wall_seconds,
+            queue_series=live.queues.snapshot() if live.queues else None,
+            imbalance_series=live.imbalance.snapshot() if live.imbalance else None,
+        )
+
+    @property
+    def scheme(self) -> str:
+        """Scheme name (mirrors :class:`ExperimentResult`)."""
+        return self.spec.scheme
+
+    @property
+    def workload(self) -> str:
+        """Workload name (mirrors :class:`ExperimentResult`)."""
+        return self.spec.workload
+
+    @property
+    def load(self) -> float:
+        """Offered load (mirrors :class:`ExperimentResult`)."""
+        return self.spec.load
+
+    @property
+    def unfinished(self) -> int:
+        """Flows that arrived but did not finish before the deadline."""
+        return self.arrivals - self.completed
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator event throughput of this point's execution."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
+
+
+__all__ = [
+    "ExperimentSpec",
+    "ImbalanceMonitorSpec",
+    "PointResult",
+    "QueueMonitorSpec",
+    "UnknownWorkloadError",
+    "get_workload",
+]

@@ -4,6 +4,7 @@ Examples::
 
     conga-repro fct --scheme conga --workload data-mining --load 0.6
     conga-repro fct --scheme ecmp --load 0.6 --fail-link 1,1,0
+    conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
     conga-repro poa
 
@@ -19,22 +20,27 @@ from repro.units import megabytes, milliseconds, seconds, to_milliseconds
 from repro.workloads import WORKLOADS
 
 
-def _cmd_fct(args: argparse.Namespace) -> int:
-    from repro.apps import run_fct_experiment
-
+def _parse_failed_links(values: list[str] | None) -> list[tuple[int, int, int]]:
     failed = []
-    for spec in args.fail_link or []:
+    for spec in values or []:
         leaf, spine, which = (int(x) for x in spec.split(","))
         failed.append((leaf, spine, which))
-    result = run_fct_experiment(
-        args.scheme,
-        WORKLOADS[args.workload],
-        args.load,
+    return failed
+
+
+def _cmd_fct(args: argparse.Namespace) -> int:
+    from repro.apps import ExperimentSpec
+
+    spec = ExperimentSpec(
+        scheme=args.scheme,
+        workload=args.workload,
+        load=args.load,
         num_flows=args.flows,
         size_scale=args.size_scale,
         seed=args.seed,
-        failed_links=failed,
+        failed_links=_parse_failed_links(args.fail_link),
     )
+    result = spec.run()
     summary = result.summary
     print(f"scheme={args.scheme} workload={args.workload} load={args.load:g}")
     print(f"  flows completed:        {result.completed}/{result.arrivals}")
@@ -47,7 +53,66 @@ def _cmd_fct(args: argparse.Namespace) -> int:
     if summary.count_large:
         print(f"  large flows (>10MB):    {summary.count_large} "
               f"(mean FCT {to_milliseconds(round(summary.mean_fct_large)):.3f} ms)")
-    print(f"  fabric drops:           {result.fabric.total_fabric_drops()}")
+    print(f"  fabric drops:           {result.fabric_drops}")
+    print(f"  simulator:              {result.events_executed} events, "
+          f"{result.events_per_sec / 1e3:.0f}k events/sec")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import print_table
+    from repro.apps import ExperimentSpec, UnknownSchemeError, get_scheme
+    from repro.runner import run_sweep, sweep_grid
+
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    try:
+        for name in schemes:  # fail fast, before any point executes
+            get_scheme(name)
+    except UnknownSchemeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    template = ExperimentSpec(
+        scheme="ecmp",  # placeholder; the grid overwrites scheme/load/seed
+        workload=args.workload,
+        load=0.6,
+        num_flows=args.flows,
+        size_scale=args.size_scale,
+    )
+    specs = sweep_grid(
+        template,
+        schemes=schemes,
+        loads=[float(x) for x in args.loads.split(",")],
+        seeds=[int(x) for x in args.seeds.split(",")],
+    )
+    sweep = run_sweep(
+        specs,
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache_dir,
+        progress=print if args.verbose else None,
+    )
+    rows = [
+        (
+            p.scheme,
+            p.load,
+            p.spec.seed,
+            p.summary.mean_normalized if p.summary else float("nan"),
+            p.summary.p99_normalized if p.summary else float("nan"),
+            f"{p.completed}/{p.arrivals}",
+            "cache" if p.from_cache else "run",
+        )
+        for p in sweep
+    ]
+    print_table(
+        f"sweep: {args.workload}, {args.flows} flows/point",
+        ["scheme", "load", "seed", "mean FCT", "p99 FCT", "done", "source"],
+        rows,
+    )
+    print(
+        f"\n{len(sweep)} points in {sweep.wall_seconds:.1f}s "
+        f"({sweep.executed} executed, {sweep.cached} cached, "
+        f"{sweep.events_executed} simulator events)"
+    )
     return 0
 
 
@@ -107,6 +172,9 @@ def _cmd_poa(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro.apps.experiment import SCHEMES
+    from repro.runner import DEFAULT_CACHE_DIR
+
     parser = argparse.ArgumentParser(
         prog="conga-repro",
         description="CONGA (SIGCOMM 2014) reproduction experiments",
@@ -114,8 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fct = sub.add_parser("fct", help="run one FCT experiment point")
-    fct.add_argument("--scheme", default="conga",
-                     choices=["ecmp", "conga", "conga-flow", "mptcp", "local", "spray"])
+    fct.add_argument("--scheme", default="conga", choices=sorted(SCHEMES))
     fct.add_argument("--workload", default="enterprise", choices=sorted(WORKLOADS))
     fct.add_argument("--load", type=float, default=0.6)
     fct.add_argument("--flows", type=int, default=200)
@@ -124,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
     fct.add_argument("--fail-link", action="append", metavar="LEAF,SPINE,WHICH",
                      help="fail a leaf-spine link (repeatable)")
     fct.set_defaults(func=_cmd_fct)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a cached, parallel scheme x load x seed sweep"
+    )
+    sweep.add_argument("--schemes", default="ecmp,conga",
+                       help="comma-separated scheme names")
+    sweep.add_argument("--workload", default="enterprise", choices=sorted(WORKLOADS))
+    sweep.add_argument("--loads", default="0.3,0.5,0.7",
+                       help="comma-separated offered loads")
+    sweep.add_argument("--seeds", default="1",
+                       help="comma-separated seeds (one point per seed)")
+    sweep.add_argument("--flows", type=int, default=200)
+    sweep.add_argument("--size-scale", type=float, default=0.05)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per CPU; 0 = serial)")
+    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always execute, never read or write the cache")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="print per-point timing as results arrive")
+    sweep.set_defaults(func=_cmd_sweep)
 
     incast = sub.add_parser("incast", help="run an Incast micro-benchmark")
     incast.add_argument("--transport", default="tcp", choices=["tcp", "mptcp"])

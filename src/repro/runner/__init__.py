@@ -1,0 +1,21 @@
+"""Parallel sweep runner with deterministic seeding and result caching.
+
+The public surface is small: build :class:`repro.apps.ExperimentSpec`
+points (by hand or with :func:`sweep_grid` / :func:`derive_seeds`), hand
+them to :func:`run_sweep`, and get a :class:`SweepResult` of picklable
+:class:`repro.apps.PointResult` values — in input order, bit-identical
+whether run serially or across a process pool, and served from the
+on-disk :class:`ResultCache` on repeat runs.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.sweep import SweepResult, derive_seeds, run_sweep, sweep_grid
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SweepResult",
+    "derive_seeds",
+    "run_sweep",
+    "sweep_grid",
+]

@@ -1,0 +1,90 @@
+"""On-disk result cache for sweep points.
+
+Results are stored one pickle per point under a cache root (default
+``.repro-cache/``), keyed by :meth:`ExperimentSpec.content_hash` — a stable
+content address over the full spec plus the ``repro`` package version.
+Because a point run is a pure function of its spec, a cache hit is
+bit-identical to a fresh execution; a version bump or any spec change
+misses by construction.
+
+Writes are atomic (tmp file + ``os.replace``) so a crashed or interrupted
+sweep never leaves a half-written entry behind; unreadable entries are
+treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.apps.spec import ExperimentSpec, PointResult
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """A content-addressed store of :class:`PointResult` pickles."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path(self, spec: "ExperimentSpec") -> Path:
+        """The on-disk location for ``spec``'s result."""
+        return self.root / f"{spec.content_hash()}.pkl"
+
+    def get(self, spec: "ExperimentSpec") -> "PointResult | None":
+        """The cached result for ``spec``, or None on a miss.
+
+        Hits come back flagged ``from_cache=True``.  A corrupt or
+        unreadable entry (interrupted write, format drift) is deleted and
+        reported as a miss rather than poisoning the sweep.
+        """
+        path = self.path(spec)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unpickling arbitrary corrupt bytes can raise nearly anything
+            # (UnpicklingError, EOFError, ValueError, AttributeError, ...);
+            # whatever it was, the entry is unusable — drop it and miss.
+            path.unlink(missing_ok=True)
+            return None
+        return replace(result, from_cache=True)
+
+    def put(self, spec: "ExperimentSpec", result: "PointResult") -> Path:
+        """Atomically store ``result`` under ``spec``'s content hash."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(
+                replace(result, from_cache=False),
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.pkl"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]

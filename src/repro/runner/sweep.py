@@ -1,0 +1,243 @@
+"""Parallel sweep execution over declarative experiment specs.
+
+Every figure in the paper is a sweep — N schemes × M loads × seeds — and
+each point is an independent, deterministic function of its
+:class:`ExperimentSpec`.  :func:`run_sweep` exploits exactly that: cache
+hits are served from :class:`ResultCache`, misses fan out over a
+``ProcessPoolExecutor`` (or run inline with ``workers=0``), and results
+come back in input order, bit-identical regardless of worker count because
+every random draw inside a point comes from the spec's own seed via named
+RNG streams and process-stable hashing.
+
+Sweep construction helpers:
+
+* :func:`sweep_grid` — the cartesian product builder for the common
+  "schemes × loads × seeds over one scenario template" shape;
+* :func:`derive_seeds` — deterministic replicate seeds derived from a base
+  seed with the same named-stream discipline the simulator uses, so seed
+  lists are reproducible across machines and processes.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.apps.spec import ExperimentSpec, PointResult
+from repro.net.hashing import stable_string_seed
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+
+ProgressFn = Callable[[str], None]
+ExecutorFactory = Callable[[int], Executor]
+
+
+def derive_seeds(base_seed: int, count: int, stream: str = "sweep-seeds") -> list[int]:
+    """``count`` deterministic replicate seeds derived from ``base_seed``.
+
+    Extends the simulator's named-RNG-stream discipline to sweep
+    construction: the stream name is hashed process-stably, so the same
+    (base_seed, stream) pair yields the same seed list on any machine, in
+    any process.  Seeds are positive 31-bit ints, safe for ``Simulator``.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one seed, got {count}")
+    sequence = np.random.SeedSequence((base_seed, stable_string_seed(stream)))
+    state = sequence.generate_state(count, dtype=np.uint64)
+    return [int(value % (1 << 31)) or 1 for value in state]
+
+
+def sweep_grid(
+    template: ExperimentSpec,
+    *,
+    schemes: Sequence[str] | None = None,
+    loads: Sequence[float] | None = None,
+    seeds: Sequence[int] | None = None,
+    workloads: Sequence[str] | None = None,
+) -> list[ExperimentSpec]:
+    """The cartesian product of the given axes over a scenario template.
+
+    Axes left as ``None`` keep the template's value.  Order is
+    seed-major → workload → load → scheme, matching how the figure
+    benchmarks tabulate (all schemes of one load adjacent).
+    """
+    specs = []
+    for seed in seeds if seeds is not None else [template.seed]:
+        for workload in workloads if workloads is not None else [template.workload]:
+            for load in loads if loads is not None else [template.load]:
+                for scheme in schemes if schemes is not None else [template.scheme]:
+                    specs.append(
+                        template.with_(
+                            scheme=scheme, workload=workload, load=load, seed=seed
+                        )
+                    )
+    return specs
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of one sweep, in input order, plus execution accounting."""
+
+    points: tuple[PointResult, ...]
+    executed: int
+    cached: int
+    wall_seconds: float
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def point(self, **filters) -> PointResult:
+        """The unique point whose spec matches all ``filters`` exactly.
+
+        ``sweep.point(scheme="conga", load=0.6)`` is the lookup the figure
+        benchmarks do; raises if the filters match zero or several points.
+        """
+        matches = self.select(**filters)
+        if len(matches) != 1:
+            raise LookupError(
+                f"filters {filters!r} matched {len(matches)} points, expected 1"
+            )
+        return matches[0]
+
+    def select(self, **filters) -> list[PointResult]:
+        """All points whose spec fields equal the given filter values."""
+        return [
+            point
+            for point in self.points
+            if all(
+                getattr(point.spec, name) == value
+                for name, value in filters.items()
+            )
+        ]
+
+    @property
+    def events_executed(self) -> int:
+        """Total simulator events across executed (non-cached) points."""
+        return sum(p.events_executed for p in self.points if not p.from_cache)
+
+    @property
+    def all_cached(self) -> bool:
+        """Whether every point was served from the cache."""
+        return self.executed == 0 and len(self.points) > 0
+
+
+def _execute_point(spec: ExperimentSpec) -> PointResult:
+    """Worker entry point: run one spec (module-level, hence picklable)."""
+    return spec.run()
+
+
+def _point_line(index: int, total: int, result: PointResult) -> str:
+    if result.from_cache:
+        return f"[{index + 1}/{total}] {result.spec.label()}: cached"
+    return (
+        f"[{index + 1}/{total}] {result.spec.label()}: "
+        f"{result.wall_seconds:.2f}s wall, {result.events_executed} events, "
+        f"{result.events_per_sec / 1e3:.0f}k ev/s"
+    )
+
+
+def run_sweep(
+    specs: Iterable[ExperimentSpec],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | str | os.PathLike | None = DEFAULT_CACHE_DIR,
+    progress: ProgressFn | None = None,
+    executor_factory: ExecutorFactory | None = None,
+) -> SweepResult:
+    """Run every spec, in parallel, through the result cache.
+
+    Parameters
+    ----------
+    workers:
+        ``None`` — one worker per CPU; ``0`` or ``1`` — run misses inline
+        in this process (no executor, no pickling); ``n > 1`` — a
+        ``ProcessPoolExecutor`` with ``n`` workers.  The answer is
+        bit-identical in all modes.
+    cache:
+        A :class:`ResultCache`, a directory path for one, or ``None`` to
+        disable caching entirely.
+    progress:
+        Optional callable receiving one human-readable line per completed
+        point (wall clock, events executed, events/sec, cache hits).
+    executor_factory:
+        Test seam: builds the executor for parallel misses.  Defaults to
+        ``ProcessPoolExecutor``.  Never called when every point is served
+        from cache or when running inline.
+    """
+    specs = list(specs)
+    if not specs:
+        return SweepResult(points=(), executed=0, cached=0, wall_seconds=0.0)
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    started = perf_counter()
+    total = len(specs)
+
+    results: list[PointResult | None] = [None] * total
+    misses: list[int] = []
+    duplicates: dict[int, int] = {}
+    seen: dict[str, int] = {}
+    for index, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            if progress is not None:
+                progress(_point_line(index, total, cached))
+            continue
+        first = seen.setdefault(spec.content_hash(), index)
+        if first != index:
+            duplicates[index] = first  # identical spec earlier in the sweep
+        else:
+            misses.append(index)
+
+    def finish(index: int, result: PointResult) -> None:
+        results[index] = result
+        if cache is not None and not result.from_cache:
+            cache.put(specs[index], result)
+        if progress is not None:
+            progress(_point_line(index, total, result))
+
+    if misses and workers <= 1:
+        for index in misses:
+            finish(index, _execute_point(specs[index]))
+    elif misses:
+        factory = executor_factory or (
+            lambda n: ProcessPoolExecutor(max_workers=n)
+        )
+        with factory(min(workers, len(misses))) as pool:
+            futures = {
+                pool.submit(_execute_point, specs[index]): index
+                for index in misses
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(futures[future], future.result())
+
+    for index, first in duplicates.items():
+        results[index] = results[first]
+
+    executed = len(misses)
+    return SweepResult(
+        points=tuple(results),  # type: ignore[arg-type]
+        executed=executed,
+        cached=total - executed - len(duplicates),
+        wall_seconds=perf_counter() - started,
+    )
+
+
+__all__ = [
+    "SweepResult",
+    "derive_seeds",
+    "run_sweep",
+    "sweep_grid",
+]

@@ -11,7 +11,7 @@ scans, DRE decay, ...).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable
 
 import numpy as np
@@ -25,12 +25,31 @@ class SimulationError(RuntimeError):
     """Raised for scheduling errors such as events in the past."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: int
-    sequence: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """A calendar entry: ``(time, sequence)`` orders the heap.
+
+    Event push/pop is the simulator's hottest path, so this is a plain
+    ``__slots__`` class compared by a ``(time, sequence)`` key rather than a
+    ``@dataclass(order=True)`` (which pays field-by-field comparison and
+    ``__dict__`` storage per instance).
+    """
+
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(self, time: int, sequence: int, callback: Callback) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"_Event(t={self.time}, seq={self.sequence}{state})"
 
 
 class Simulator:
@@ -51,7 +70,11 @@ class Simulator:
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
         self._stopped = False
+        #: Perf counters: total events executed and wall-clock seconds spent
+        #: inside :meth:`run`.  Reporting only — they never influence the
+        #: simulation itself, so determinism is unaffected.
         self.events_executed = 0
+        self.wall_seconds = 0.0
 
     # -- time ---------------------------------------------------------------
 
@@ -120,22 +143,28 @@ class Simulator:
         """
         self._stopped = False
         executed = 0
-        while self._heap and not self._stopped:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and event.time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = event.time
-            event.callback()
-            executed += 1
-            self.events_executed += 1
-            if max_events is not None and executed >= max_events:
-                break
-        if until is not None and not self._heap and self._now < until:
+        heap = self._heap
+        pop = heapq.heappop
+        started = perf_counter()
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    return self._now
+                pop(heap)
+                self._now = event.time
+                event.callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self.events_executed += executed
+            self.wall_seconds += perf_counter() - started
+        if until is not None and not heap and self._now < until:
             self._now = until
         return self._now
 
@@ -147,6 +176,28 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of scheduled (possibly cancelled) events still queued."""
         return len(self._heap)
+
+    @property
+    def pending_live_events(self) -> int:
+        """Number of queued events that are not lazily cancelled.
+
+        Prunes cancelled events off the heap top first, so a heap holding
+        *only* cancelled entries reports zero (and frees them) instead of
+        making idle-detection loops spin until their timestamps pass.
+        Cancelled events buried under live ones are still counted — they are
+        discarded cheaply when they surface.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return len(heap)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Average event throughput of all :meth:`run` calls so far."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
 
 
 class Timer:
@@ -250,10 +301,13 @@ def run_until_idle(sim: Simulator, quantum: int = SECOND, max_quanta: int = 10_0
     """Drive ``sim`` in fixed quanta until no events remain.
 
     Convenience for tests and examples that want "run to completion" without
-    picking a horizon in advance.
+    picking a horizon in advance.  Uses :attr:`Simulator.pending_live_events`
+    so a heap holding only cancelled timers (e.g. a disarmed 60 s RTO) counts
+    as idle immediately instead of burning one quantum per tick until the
+    stale timestamps pass.
     """
     quanta = 0
-    while sim.pending_events:
+    while sim.pending_live_events:
         sim.run(until=sim.now + quantum)
         quanta += 1
         if quanta >= max_quanta:

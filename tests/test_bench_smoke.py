@@ -1,0 +1,47 @@
+"""End-to-end smoke of the sweep runner at benchmark-like scale.
+
+Marked ``bench_smoke`` so CI can run it as its own step: one real
+scheme-comparison sweep through the on-disk cache, twice — executing the
+first time, fully cache-served the second — in well under a minute.
+"""
+
+import pytest
+
+from repro.apps import ExperimentSpec
+from repro.runner import ResultCache, run_sweep, sweep_grid
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_cached_sweep_end_to_end(tmp_path):
+    template = ExperimentSpec(
+        scheme="ecmp",
+        workload="enterprise",
+        load=0.5,
+        num_flows=60,
+        size_scale=0.05,
+        seed=31,
+    )
+    specs = sweep_grid(template, schemes=["ecmp", "conga"], loads=[0.3, 0.6])
+    cache = ResultCache(tmp_path / "cache")
+    lines = []
+
+    first = run_sweep(specs, cache=cache, progress=lines.append)
+    assert first.executed == len(specs)
+    assert len(lines) == len(specs)
+    assert all(p.completed == p.arrivals == 60 for p in first)
+    assert all(p.summary is not None for p in first)
+    # CONGA holds its own against ECMP on this scenario (loose sanity
+    # bound — the tight figure assertions live in benchmarks/).
+    assert (
+        first.point(scheme="conga", load=0.6).summary.mean_normalized
+        < first.point(scheme="ecmp", load=0.6).summary.mean_normalized * 1.5
+    )
+
+    second = run_sweep(specs, cache=cache)
+    assert second.all_cached
+    # repr round-trips floats exactly (and treats NaN uniformly), so this
+    # is a bit-identical comparison.
+    assert [repr(p.summary) for p in second] == [
+        repr(p.summary) for p in first
+    ]

@@ -52,6 +52,25 @@ class TestCommands:
         assert code == 0
         assert "mean FCT" in capsys.readouterr().out
 
+    def test_sweep_runs_and_caches(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--schemes", "ecmp", "--workload", "web-search",
+            "--loads", "0.3", "--seeds", "1", "--flows", "15",
+            "--size-scale", "0.02", "--workers", "0",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "1 executed, 0 cached" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 executed, 1 cached" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_scheme_before_running(self, capsys):
+        code = main(["sweep", "--schemes", "ecmp,bogus"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown scheme 'bogus'" in captured.err
+        assert captured.out == ""  # no point executed
+
     def test_incast_runs(self, capsys):
         code = main(
             ["incast", "--transport", "tcp", "--fan-in", "3", "--repeats", "1"]

@@ -1,0 +1,413 @@
+"""Tests for the declarative ExperimentSpec API and the sweep runner."""
+
+import dataclasses
+import math
+import pickle
+
+import pytest
+
+from repro.apps import (
+    ExperimentSpec,
+    ImbalanceMonitorSpec,
+    QueueMonitorSpec,
+    SchemeSpec,
+    UnknownSchemeError,
+    UnknownWorkloadError,
+    get_scheme,
+    get_workload,
+    register_scheme,
+    run_fct_experiment,
+)
+from repro.apps.experiment import SCHEMES
+from repro.apps.traffic import tcp_flow_factory
+from repro.lb import EcmpSelector
+from repro.runner import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    derive_seeds,
+    run_sweep,
+    sweep_grid,
+)
+from repro.sim import Simulator
+from repro.sim.kernel import run_until_idle
+from repro.topology import build_leaf_spine, scaled_testbed
+from repro.units import microseconds, seconds
+from repro.workloads import WORKLOADS
+
+# Small enough that one point simulates in well under a second.
+TINY = ExperimentSpec(
+    scheme="ecmp",
+    workload="web-search",
+    load=0.4,
+    num_flows=12,
+    size_scale=0.02,
+)
+
+
+def assert_summaries_equal(*summaries):
+    """Field-wise equality that treats NaN == NaN (empty size buckets)."""
+    first = summaries[0]
+    for other in summaries[1:]:
+        for field in dataclasses.fields(first):
+            a = getattr(first, field.name)
+            b = getattr(other, field.name)
+            if isinstance(a, float) and math.isnan(a):
+                assert math.isnan(b), field.name
+            else:
+                assert a == b, field.name
+
+
+class TestSchemeRegistry:
+    def test_get_scheme_returns_registered_spec(self):
+        assert get_scheme("conga").name == "conga"
+
+    def test_unknown_scheme_error_lists_available(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            get_scheme("bogus")
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "conga" in message and "ecmp" in message
+        assert "register_scheme" in message
+
+    def test_unknown_scheme_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            get_scheme("bogus")
+
+    def test_register_rejects_duplicates_unless_replace(self):
+        spec = SchemeSpec("test-dup", lambda: EcmpSelector, tcp_flow_factory)
+        register_scheme(spec, replace=True)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scheme(spec)
+            register_scheme(spec, replace=True)  # idempotent with replace
+        finally:
+            del SCHEMES["test-dup"]
+
+    def test_registered_scheme_usable_by_name(self):
+        register_scheme(
+            SchemeSpec("test-ecmp2", lambda: EcmpSelector, tcp_flow_factory),
+            replace=True,
+        )
+        try:
+            point = TINY.with_(scheme="test-ecmp2").run()
+            assert point.scheme == "test-ecmp2"
+            assert point.completed == TINY.num_flows
+        finally:
+            del SCHEMES["test-ecmp2"]
+
+    def test_unknown_workload_error_lists_available(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            get_workload("bogus")
+        assert "web-search" in str(excinfo.value)
+
+    def test_get_workload(self):
+        assert get_workload("enterprise") is WORKLOADS["enterprise"]
+
+
+class TestExperimentSpec:
+    def test_normalizes_clients_and_failed_links_to_tuples(self):
+        spec = TINY.with_(clients=range(8, 16), failed_links=[(1, 1, 0)])
+        assert spec.clients == tuple(range(8, 16))
+        assert spec.failed_links == ((1, 1, 0),)
+
+    def test_rejects_bad_load_and_flows(self):
+        with pytest.raises(ValueError):
+            TINY.with_(load=0.0)
+        with pytest.raises(ValueError):
+            TINY.with_(num_flows=0)
+
+    def test_content_hash_is_stable_across_equal_specs(self):
+        a = TINY.with_(failed_links=[(1, 1, 0)])
+        b = TINY.with_(failed_links=[(1, 1, 0)])
+        assert a == b
+        assert a.content_hash() == b.content_hash()
+
+    def test_content_hash_changes_with_any_field(self):
+        base = TINY.content_hash()
+        assert TINY.with_(seed=2).content_hash() != base
+        assert TINY.with_(load=0.41).content_hash() != base
+        assert TINY.with_(scheme="conga").content_hash() != base
+        assert (
+            TINY.with_(config=scaled_testbed(hosts_per_leaf=4)).content_hash()
+            != base
+        )
+        assert (
+            TINY.with_(queue_monitor=QueueMonitorSpec()).content_hash() != base
+        )
+
+    def test_spec_pickles(self):
+        spec = TINY.with_(
+            config=scaled_testbed(),
+            queue_monitor=QueueMonitorSpec(tier="spine", direction="down"),
+            imbalance_monitor=ImbalanceMonitorSpec(leaf=0),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_run_produces_picklable_result(self):
+        point = TINY.run()
+        clone = pickle.loads(pickle.dumps(point))
+        assert_summaries_equal(clone.summary, point.summary)
+        assert clone.records == point.records
+        assert clone.arrivals == point.arrivals == TINY.num_flows
+        assert clone.fabric_drops == point.fabric_drops
+        assert point.events_executed > 0
+        assert point.events_per_sec > 0
+
+    def test_run_matches_deprecated_kwarg_api(self):
+        point = TINY.run()
+        with pytest.deprecated_call():
+            legacy = run_fct_experiment(
+                TINY.scheme,
+                WORKLOADS[TINY.workload],
+                TINY.load,
+                seed=TINY.seed,
+                num_flows=TINY.num_flows,
+                size_scale=TINY.size_scale,
+            )
+        assert_summaries_equal(point.summary, legacy.summary)
+        assert point.completed == legacy.completed
+
+    def test_monitor_specs_resolve_on_fabric(self):
+        sim = Simulator(seed=1)
+        fabric = build_leaf_spine(sim, scaled_testbed())
+        hotspot = QueueMonitorSpec(
+            tier="spine", direction="down", spine=1, leaf=1
+        )
+        ports = hotspot.resolve(fabric)
+        assert ports and all(p.name.startswith("spine1->leaf1") for p in ports)
+        every = QueueMonitorSpec(tier="fabric", direction="both").resolve(fabric)
+        assert len(every) > len(ports)
+        uplinks = QueueMonitorSpec(
+            tier="leaf", direction="up", leaf=0
+        ).resolve(fabric)
+        assert uplinks and all(p.name.startswith("leaf0.") for p in uplinks)
+
+    def test_monitor_resolve_excludes_failed_ports(self):
+        sim = Simulator(seed=1)
+        fabric = build_leaf_spine(sim, scaled_testbed())
+        before = QueueMonitorSpec(
+            tier="spine", direction="down", spine=1, leaf=1
+        ).resolve(fabric)
+        fabric.fail_link(1, 1, 0)
+        after = QueueMonitorSpec(
+            tier="spine", direction="down", spine=1, leaf=1
+        ).resolve(fabric)
+        assert len(after) == len(before) - 1
+
+    def test_monitor_spec_validates_tier_direction(self):
+        with pytest.raises(ValueError, match="samples 'down'"):
+            QueueMonitorSpec(tier="spine", direction="up")
+        with pytest.raises(ValueError, match="tier"):
+            QueueMonitorSpec(tier="core", direction="down")
+
+    def test_queue_monitor_runs_and_snapshots(self):
+        point = TINY.with_(
+            # A tiny run lasts well under a millisecond of simulated time,
+            # so sample much faster than the 1 ms default.
+            queue_monitor=QueueMonitorSpec(
+                tier="spine", direction="down", spine=1, leaf=1,
+                interval=microseconds(10),
+            ),
+            clients=range(8, 16),
+            failed_links=[(1, 1, 0)],
+        ).run()
+        series = point.queue_series
+        assert series is not None
+        assert series.port_names
+        assert all(name.startswith("spine1->leaf1") for name in series.port_names)
+        assert len(series.series(series.port_names[0])) > 0
+
+
+class TestSweepHelpers:
+    def test_derive_seeds_deterministic_and_distinct(self):
+        seeds = derive_seeds(31, 4)
+        assert seeds == derive_seeds(31, 4)
+        assert len(set(seeds)) == 4
+        assert all(0 < s < 2**31 for s in seeds)
+        assert derive_seeds(31, 4, stream="other") != seeds
+
+    def test_derive_seeds_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            derive_seeds(1, 0)
+
+    def test_sweep_grid_order_and_overrides(self):
+        specs = sweep_grid(
+            TINY, schemes=["ecmp", "conga"], loads=[0.3, 0.5], seeds=[1, 2]
+        )
+        assert len(specs) == 8
+        # scheme varies fastest, then load, then seed.
+        assert [(s.seed, s.load, s.scheme) for s in specs[:4]] == [
+            (1, 0.3, "ecmp"),
+            (1, 0.3, "conga"),
+            (1, 0.5, "ecmp"),
+            (1, 0.5, "conga"),
+        ]
+        assert specs[4].seed == 2
+        # Axes not given keep the template's values.
+        assert all(s.workload == TINY.workload for s in specs)
+        assert all(s.num_flows == TINY.num_flows for s in specs)
+
+
+def _forbidden_executor(workers):
+    raise AssertionError("executor must not be constructed on a full cache hit")
+
+
+class TestRunSweep:
+    def test_empty_sweep(self):
+        result = run_sweep([], cache=None)
+        assert len(result) == 0
+        assert result.executed == result.cached == 0
+
+    def test_serial_sweep_and_point_lookup(self, tmp_path):
+        specs = sweep_grid(TINY, schemes=["ecmp", "conga"], loads=[0.3, 0.5])
+        sweep = run_sweep(specs, workers=0, cache=tmp_path / "cache")
+        assert sweep.executed == 4 and sweep.cached == 0
+        assert [p.spec for p in sweep] == specs
+        point = sweep.point(scheme="conga", load=0.5)
+        assert point.scheme == "conga" and point.load == 0.5
+        with pytest.raises(LookupError):
+            sweep.point(scheme="conga")  # matches two loads
+        with pytest.raises(LookupError):
+            sweep.point(scheme="hedera")
+
+    def test_progress_lines_emitted(self, tmp_path):
+        lines = []
+        run_sweep(
+            [TINY], workers=0, cache=tmp_path / "cache", progress=lines.append
+        )
+        assert len(lines) == 1
+        assert "ecmp web-search" in lines[0] and "events" in lines[0]
+
+    def test_identical_specs_in_one_sweep_run_once(self, tmp_path):
+        sweep = run_sweep([TINY, TINY], workers=0, cache=tmp_path / "cache")
+        assert sweep.executed == 1
+        assert_summaries_equal(
+            sweep.points[0].summary, sweep.points[1].summary
+        )
+
+    def test_second_sweep_served_entirely_from_cache(self, tmp_path):
+        specs = sweep_grid(TINY, schemes=["ecmp", "conga"], loads=[0.3, 0.5])
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(specs, workers=0, cache=cache)
+        assert first.executed == len(specs)
+        assert len(cache) == len(specs)
+        # Poisoned executor factory: any attempt to execute (rather than
+        # serve from cache) blows up, proving zero submissions.
+        lines = []
+        second = run_sweep(
+            specs,
+            workers=4,
+            cache=cache,
+            executor_factory=_forbidden_executor,
+            progress=lines.append,
+        )
+        assert second.executed == 0
+        assert second.cached == len(specs)
+        assert second.all_cached
+        assert all(p.from_cache for p in second)
+        assert all(line.endswith("cached") for line in lines)
+        for a, b in zip(first, second):
+            assert_summaries_equal(a.summary, b.summary)
+            assert a.records == b.records
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b""],
+        ids=["unpicklingerror", "valueerror", "empty"],
+    )
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep([TINY], workers=0, cache=cache)
+        path = cache.path(TINY)
+        path.write_bytes(garbage)
+        again = run_sweep([TINY], workers=0, cache=cache)
+        assert again.executed == 1  # re-ran instead of crashing
+        assert cache.get(TINY) is not None  # and repopulated the entry
+
+    def test_cache_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        sweep = run_sweep([TINY, TINY.with_(seed=2)], workers=0, cache=None)
+        assert sweep.executed == 2
+        assert not (tmp_path / DEFAULT_CACHE_DIR).exists()
+
+    def test_version_change_invalidates_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep([TINY], workers=0, cache=cache)
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        assert cache.get(TINY) is None
+
+    def test_parallel_results_bit_identical_to_serial(self, tmp_path):
+        # The acceptance-shaped sweep: 3 schemes x 4 loads = 12 points.
+        specs = sweep_grid(
+            TINY,
+            schemes=["ecmp", "conga", "mptcp"],
+            loads=[0.3, 0.4, 0.5, 0.6],
+        )
+        serial = run_sweep(specs, workers=0, cache=None)
+        one_worker = run_sweep(specs, workers=1, cache=None)
+        four_workers = run_sweep(
+            specs, workers=4, cache=tmp_path / "cache"
+        )
+        for a, b, c in zip(serial, one_worker, four_workers):
+            assert_summaries_equal(a.summary, b.summary, c.summary)
+            assert a.records == b.records == c.records
+            assert a.fabric_drops == b.fabric_drops == c.fabric_drops
+            assert a.end_time == b.end_time == c.end_time
+            assert (
+                a.events_executed == b.events_executed == c.events_executed
+            )
+
+
+class TestKernelRegressions:
+    def test_pending_live_events_prunes_cancelled_top(self):
+        sim = Simulator()
+        cancelled = sim.schedule(10, lambda: None)
+        live = sim.schedule(20, lambda: None)
+        assert sim.pending_live_events == 2
+        Simulator.cancel(cancelled)
+        assert sim.pending_live_events == 1  # pruned off the heap top
+        assert sim.pending_events == 1  # physically removed, too
+        Simulator.cancel(live)
+        assert sim.pending_live_events == 0
+
+    def test_pending_live_events_keeps_buried_cancelled(self):
+        sim = Simulator()
+        live = sim.schedule(5, lambda: None)
+        buried = sim.schedule(10, lambda: None)
+        Simulator.cancel(buried)
+        # The cancelled event is not at the top; counted until it surfaces.
+        assert sim.pending_live_events == 2
+        sim.run()
+        assert sim.now == 5  # the cancelled event never advanced the clock
+
+    def test_run_until_idle_ignores_cancelled_far_future_timer(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        stale = sim.schedule(seconds(3600), lambda: None)  # a disarmed RTO
+        Simulator.cancel(stale)
+        run_until_idle(sim, quantum=seconds(1), max_quanta=5)
+        # Before the fix this burned one quantum per loop until the stale
+        # timestamp passed (an hour of simulated time); now it exits as soon
+        # as only cancelled events remain.
+        assert sim.now <= seconds(1)
+
+    def test_event_ties_break_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(10, lambda tag=tag: order.append(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_perf_counters_accumulate(self):
+        sim = Simulator()
+        for delay in (1, 2, 3):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+        assert sim.wall_seconds > 0.0
+        assert sim.events_per_sec > 0.0
