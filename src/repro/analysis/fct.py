@@ -16,6 +16,7 @@ schemes' results in hand.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +78,24 @@ class FctSummary:
         )
 
 
+def records_digest(records: list[FlowRecord]) -> str:
+    """A stable hex digest of per-flow completion records.
+
+    Every integer field of every record feeds the hash, so two runs agree
+    iff their per-flow FCT results are bit-identical.  The golden
+    determinism tests pin these digests across kernel refactors, and
+    ``repro bench`` reports them so a perf regression hunt can immediately
+    tell an "only faster" change from a behavioural one.
+    """
+    hasher = hashlib.sha256()
+    for r in records:
+        hasher.update(
+            f"{r.flow_id},{r.src},{r.dst},{r.size},"
+            f"{r.start_time},{r.fct},{r.ideal_fct};".encode()
+        )
+    return hasher.hexdigest()
+
+
 def relative_to(value: float, baseline: float) -> float:
     """``value / baseline`` with NaN propagation for empty buckets."""
     if baseline != baseline or value != value:  # NaN check without numpy
@@ -86,4 +105,10 @@ def relative_to(value: float, baseline: float) -> float:
     return value / baseline
 
 
-__all__ = ["FctSummary", "LARGE_FLOW_BYTES", "SMALL_FLOW_BYTES", "relative_to"]
+__all__ = [
+    "FctSummary",
+    "LARGE_FLOW_BYTES",
+    "SMALL_FLOW_BYTES",
+    "records_digest",
+    "relative_to",
+]

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.series import DEFAULT_SERIES_LIMIT, DecimatedSeries
 from repro.net.port import Port
 from repro.sim.kernel import PeriodicTimer
 from repro.units import milliseconds
@@ -170,20 +171,28 @@ class ThroughputImbalanceMonitor:
 
 
 class QueueMonitor:
-    """Periodically samples byte occupancy of a set of queues (Fig. 11c/16)."""
+    """Periodically samples byte occupancy of a set of queues (Fig. 11c/16).
+
+    Per-port series are bounded :class:`DecimatedSeries` (uniform stride
+    decimation, ``max_samples`` retained per port), so week-long simulated
+    runs keep constant memory while the occupancy CDFs stay faithful.
+    """
 
     def __init__(
         self,
         sim: "Simulator",
         ports: list[Port],
         interval: int = milliseconds(1),
+        max_samples: int = DEFAULT_SERIES_LIMIT,
     ) -> None:
         if not ports:
             raise ValueError("need at least one port to monitor")
         self.sim = sim
         self.ports = ports
         self.interval = interval
-        self.samples: dict[str, list[int]] = {port.name: [] for port in ports}
+        self.samples: dict[str, DecimatedSeries] = {
+            port.name: DecimatedSeries(max_samples) for port in ports
+        }
         self._timer = PeriodicTimer(sim, interval, self._sample, start=False)
 
     def start(self) -> None:
@@ -198,8 +207,8 @@ class QueueMonitor:
         for port in self.ports:
             self.samples[port.name].append(port.queue.byte_occupancy)
 
-    def series(self, port: Port) -> list[int]:
-        """The recorded occupancy series for ``port``."""
+    def series(self, port: Port) -> DecimatedSeries:
+        """The recorded (decimated) occupancy series for ``port``."""
         return self.samples[port.name]
 
     def percentile(self, port: Port, q: float) -> float:
@@ -207,14 +216,14 @@ class QueueMonitor:
         series = self.samples[port.name]
         if not series:
             raise ValueError(f"no samples recorded for {port.name}")
-        return float(np.percentile(series, q))
+        return float(np.percentile(list(series), q))
 
     def mean(self, port: Port) -> float:
         """Mean occupancy (bytes) at ``port``."""
         series = self.samples[port.name]
         if not series:
             raise ValueError(f"no samples recorded for {port.name}")
-        return float(np.mean(series))
+        return float(np.mean(list(series)))
 
     def snapshot(self) -> QueueSeries:
         """Freeze the recorded series into a picklable value object."""

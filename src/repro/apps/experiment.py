@@ -10,7 +10,10 @@ definitions mirror §5's comparison set:
 * ``conga-flow`` — CONGA with a 13 ms timeout (one decision per flow);
 * ``mptcp`` — ECMP in the fabric, MPTCP with 8 subflows at the hosts;
 * ``local`` — the local-congestion-aware strawman of §2.4;
-* ``spray`` — per-packet round-robin spraying.
+* ``spray`` — per-packet round-robin spraying;
+* ``dctcp`` — ECMP in the fabric, DCTCP at the hosts (pair with a config
+  that sets ``ecn_threshold_bytes``, or the ECN-proportional backoff never
+  engages and it degenerates to plain Reno).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.analysis.monitors import QueueMonitor, ThroughputImbalanceMonitor
 from repro.apps.traffic import (
     CrossRackTraffic,
     FlowFactory,
+    dctcp_flow_factory,
     mptcp_flow_factory,
     tcp_flow_factory,
 )
@@ -113,6 +117,7 @@ for _spec in (
     SchemeSpec("mptcp", EcmpSelector.factory, _mptcp),
     SchemeSpec("local", LocalAwareSelector.factory, _tcp),
     SchemeSpec("spray", PacketSpraySelector.factory, _tcp),
+    SchemeSpec("dctcp", EcmpSelector.factory, dctcp_flow_factory),
     SchemeSpec(
         "hedera",
         lambda: CentralizedSelector,

@@ -6,6 +6,7 @@ Examples::
     conga-repro fct --scheme ecmp --load 0.6 --fail-link 1,1,0
     conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
+    conga-repro bench --quick
     conga-repro poa
 
 (Equivalently: ``python -m repro.cli ...``.)
@@ -158,6 +159,29 @@ def _cmd_incast(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import run_bench, write_bench_file
+
+    specs = (
+        [s.strip() for s in args.specs.split(",")] if args.specs else None
+    )
+    try:
+        results = run_bench(quick=args.quick, specs=specs, progress=print)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = write_bench_file(
+        results,
+        args.output,
+        quick=args.quick,
+        set_baseline=args.set_baseline,
+    )
+    print(f"\nwrote {args.output}")
+    for name, ratio in sorted(payload["speedup"].items()):
+        print(f"  {name:<24} {ratio:.2f}x vs baseline events/sec")
+    return 0
+
+
 def _cmd_poa(args: argparse.Namespace) -> int:
     from repro.theory import figure17_gadget
 
@@ -221,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
     incast.add_argument("--repeats", type=int, default=3)
     incast.add_argument("--seed", type=int, default=1)
     incast.set_defaults(func=_cmd_incast)
+
+    bench = sub.add_parser(
+        "bench", help="run the tracked kernel performance benchmarks"
+    )
+    from repro.perf import BENCH_FILENAME
+
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller specs for CI smoke runs")
+    bench.add_argument("--specs", default=None,
+                       help="comma-separated subset of bench spec names")
+    bench.add_argument("--output", default=BENCH_FILENAME,
+                       help=f"benchmark file to update (default {BENCH_FILENAME})")
+    bench.add_argument("--set-baseline", action="store_true",
+                       help="freeze this run's numbers as the comparison baseline")
+    bench.set_defaults(func=_cmd_bench)
 
     poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
     poa.set_defaults(func=_cmd_poa)

@@ -23,6 +23,11 @@ from repro.core.params import CongaParams, DEFAULT_PARAMS
 if TYPE_CHECKING:
     from repro.sim import Simulator
 
+#: Largest ``elapsed`` served from the precomputed decay table.  A busy
+#: link touches its DRE every few packets, so elapsed tick counts beyond a
+#: few dozen only occur after idle gaps, where one pow is irrelevant.
+_DECAY_TABLE_SIZE = 256
+
 
 class DRE:
     """A discounting rate estimator for one link direction.
@@ -54,15 +59,28 @@ class DRE:
         self._full_register = (
             link_rate_bps * params.dre_time_constant / (8 * 1_000_000_000)
         )
+        self._period = params.dre_period
+        # Decay factors for small elapsed tick counts, precomputed so the
+        # per-packet lazy decay is a table lookup instead of a float pow.
+        # Entry k is literally ``(1 - α) ** k`` evaluated by the same float
+        # operation the direct formula uses, so table and formula agree bit
+        # for bit (asserted by tests/test_core.py).
+        self._decay_base = 1.0 - params.alpha
+        self._decay_table = tuple(
+            self._decay_base ** k for k in range(_DECAY_TABLE_SIZE)
+        )
 
     # -- register maintenance -------------------------------------------------
 
     def _apply_decay(self) -> None:
-        tick = self.sim.now // self.params.dre_period
+        tick = self.sim.now // self._period
         elapsed = tick - self._last_decay_tick
         if elapsed > 0:
-            self._register *= (1.0 - self.params.alpha) ** elapsed
             self._last_decay_tick = tick
+            if elapsed < _DECAY_TABLE_SIZE:
+                self._register *= self._decay_table[elapsed]
+            else:
+                self._register *= self._decay_base ** elapsed
 
     def on_transmit(self, size_bytes: int) -> None:
         """Account for ``size_bytes`` sent on the link (increment ``X``)."""

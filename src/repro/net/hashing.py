@@ -16,6 +16,14 @@ _MASK = (1 << 64) - 1
 #: IP protocol numbers for the transports the simulator models.
 PROTOCOL_NUMBERS = {"tcp": 6, "udp": 17}
 
+#: Memo of computed hashes.  ECMP and the flowlet table hash the same flow
+#: 5-tuples on every packet, so the per-packet cost collapses to one dict
+#: probe; the distinct (tuple, salt) population is bounded by flows times
+#: switches.  Cleared wholesale at a size cap so week-long processes cannot
+#: grow it without bound.  Purely a cache: results are unaffected.
+_memo: dict = {}
+_MEMO_CAP = 1 << 20
+
 
 def _mix64(value: int) -> int:
     """The splitmix64 finalizer: a fast, well-distributed 64-bit mix."""
@@ -32,6 +40,10 @@ def stable_hash(values: tuple, salt: int = 0) -> int:
     otherwise through a byte-wise fold, so arbitrary labels still hash
     stably.
     """
+    key = (values, salt)
+    state = _memo.get(key)
+    if state is not None:
+        return state
     state = _mix64(salt & _MASK)
     for value in values:
         if isinstance(value, str):
@@ -42,6 +54,9 @@ def stable_hash(values: tuple, salt: int = 0) -> int:
                     number = (number * 131 + byte) & _MASK
             value = number
         state = _mix64(state ^ (value & _MASK))
+    if len(_memo) >= _MEMO_CAP:
+        _memo.clear()
+    _memo[key] = state
     return state
 
 

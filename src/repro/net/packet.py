@@ -81,13 +81,22 @@ class Packet:
     echo: int = -1
     ecn_ce: bool = False
     ecn_echo: bool = False
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
     hops: int = 0
+    # Cached 5-tuple: hashed at every switch hop (ECMP, flowlet slot), and
+    # the address fields never change after construction.
+    _five_tuple: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def five_tuple(self) -> tuple[int, int, int, int, str]:
         """The flow 5-tuple used for ECMP hashing and flowlet tracking."""
-        return (self.src, self.dst, self.sport, self.dport, self.protocol)
+        cached = self._five_tuple
+        if cached is None:
+            cached = (self.src, self.dst, self.sport, self.dport, self.protocol)
+            self._five_tuple = cached
+        return cached
 
     @property
     def end_seq(self) -> int:

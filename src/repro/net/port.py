@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
-from repro.units import transmission_time
+from repro.units import SECOND, transmission_time
 
 if TYPE_CHECKING:
     from repro.net.node import Node
@@ -30,6 +30,22 @@ DEFAULT_QUEUE_CAPACITY = 10_000_000
 
 #: Default one-way propagation delay for intra-datacenter cables (~100 m).
 DEFAULT_PROPAGATION_DELAY = 500  # nanoseconds
+
+#: Generation counter for link up/down state across *all* ports.  Switch
+#: routing caches (spine ports-to-leaf, leaf candidate uplinks) are keyed on
+#: this: any :meth:`Port.fail` / :meth:`Port.restore` bumps it, which lazily
+#: invalidates every cache without the ports knowing who caches what.
+_topology_epoch = 0
+
+
+def topology_epoch() -> int:
+    """The current link up/down generation (see :data:`_topology_epoch`)."""
+    return _topology_epoch
+
+
+def _bump_topology_epoch() -> None:
+    global _topology_epoch
+    _topology_epoch += 1
 
 
 class Port:
@@ -79,6 +95,20 @@ class Port:
         self.busy_time = 0
         #: Callbacks fired with each packet at transmission start (DRE hook).
         self.on_transmit: list[Callable[[Packet], None]] = []
+        # Serialization-delay fast path: when the line rate divides 8 Gbit
+        # of nanoseconds evenly, ceil(size * 8e9 / rate) collapses to an
+        # exact integer multiply; otherwise per-size results are memoized
+        # (wire sizes repeat: MTU data, ACKs, trailing segments), so either
+        # way the per-packet cost avoids big-integer ceiling division while
+        # staying bit-identical to :func:`repro.units.transmission_time`.
+        bits_ns = 8 * SECOND
+        self._ns_per_byte = bits_ns // rate_bps if bits_ns % rate_bps == 0 else 0
+        self._serialization_ns: dict[int, int] = {}
+        # Port events are never cancelled, so both per-hop events go through
+        # the kernel's allocation-free fast path with prebound methods.
+        self._schedule_fast = sim.schedule_fast
+        self._finish_ref = self._finish
+        self._arrive_ref = self._arrive
 
     # -- wiring ---------------------------------------------------------------
 
@@ -92,12 +122,14 @@ class Port:
         self.up = False
         if self.peer is not None:
             self.peer.up = False
+        _bump_topology_epoch()
 
     def restore(self) -> None:
         """Bring a failed link back up in both directions."""
         self.up = True
         if self.peer is not None:
             self.peer.up = True
+        _bump_topology_epoch()
 
     # -- egress ---------------------------------------------------------------
 
@@ -122,18 +154,23 @@ class Port:
         self._transmitting = True
         for hook in self.on_transmit:
             hook(packet)
-        serialization = transmission_time(packet.size, self.rate_bps)
+        size = packet.size
+        if self._ns_per_byte:
+            serialization = size * self._ns_per_byte
+        else:
+            serialization = self._serialization_ns.get(size)
+            if serialization is None:
+                serialization = transmission_time(size, self.rate_bps)
+                self._serialization_ns[size] = serialization
         self.busy_time += serialization
-        self.sim.schedule(serialization, lambda p=packet: self._finish(p))
+        self._schedule_fast(serialization, self._finish_ref, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size
         peer = self.peer
         if peer is not None and self.up:
-            self.sim.schedule(
-                self.propagation_delay, lambda p=packet: peer._arrive(p)
-            )
+            self._schedule_fast(self.propagation_delay, peer._arrive_ref, packet)
         self._transmit_next()
 
     # -- ingress --------------------------------------------------------------
@@ -167,4 +204,5 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "Port",
     "connect",
+    "topology_epoch",
 ]

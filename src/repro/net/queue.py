@@ -10,12 +10,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.core.series import DecimatedSeries
 from repro.net.packet import Packet
 
 
 @dataclass
 class QueueStats:
-    """Counters accumulated over a queue's lifetime."""
+    """Counters accumulated over a queue's lifetime.
+
+    ``samples`` is a bounded :class:`~repro.core.series.DecimatedSeries`
+    rather than a raw list, so arbitrarily long runs record occupancy
+    without unbounded memory growth; it behaves like a list for reads.
+    """
 
     enqueued_packets: int = 0
     enqueued_bytes: int = 0
@@ -25,7 +31,7 @@ class QueueStats:
     dequeued_bytes: int = 0
     ecn_marked: int = 0
     max_bytes: int = 0
-    samples: list[int] = field(default_factory=list)
+    samples: DecimatedSeries = field(default_factory=DecimatedSeries)
 
 
 class DropTailQueue:

@@ -1,0 +1,266 @@
+"""Tracked kernel performance benchmarks (``repro bench``).
+
+The ROADMAP's north star is a reproduction that "runs as fast as the
+hardware allows"; the paper's evaluation needs millions of packet events
+per figure point, so simulator throughput is a first-class deliverable.
+This module runs a small set of canonical experiment specs that stress the
+kernel's hot paths, reports events/sec and peak RSS for each, and persists
+the numbers to ``BENCH_kernel.json`` at the repo root so every PR's perf
+trajectory is recorded next to the code that caused it.
+
+The three canonical specs:
+
+* ``incast-rto`` — the RTO-heavy edge scenario: a synchronized striped
+  request into one client NIC with shallow buffers and a 1 ms min-RTO.
+  Every ACK restarts the sender's retransmission timer and drops trigger
+  real timeouts, so this is the pure stress test for timer reprogramming
+  and heap hygiene.
+* ``fct-conga-enterprise`` — a CONGA FCT point on the enterprise
+  workload: flowlet table, DRE decay, and overlay feedback all active.
+* ``fct-ecmp-datamining`` — an ECMP point on the heavy-tailed data-mining
+  workload: long-lived elephants, i.e. raw per-packet port/queue
+
+  throughput with minimal control-plane noise.
+
+Each result carries a :func:`repro.analysis.fct.records_digest` of the
+run's per-flow records (or the incast request durations), so a perf
+comparison between two checkouts can also assert the runs were
+*behaviourally* identical — "faster" never silently means "different".
+
+Benchmark file format (schema 1)::
+
+    {
+      "schema": 1,
+      "quick": false,
+      "baseline": {"<spec>": {... BenchResult fields ...}, ...},
+      "results":  {"<spec>": {... BenchResult fields ...}, ...},
+      "speedup":  {"<spec>": <results events_per_sec / baseline's>, ...}
+    }
+
+``baseline`` is written once (first run, or ``--set-baseline``) and then
+left alone; ``results`` is refreshed by every ``repro bench`` invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Callable
+
+from repro.units import megabytes, milliseconds, seconds
+
+#: Default benchmark record, at the repo root so it is committed with PRs.
+BENCH_FILENAME = "BENCH_kernel.json"
+
+#: Current layout version of the benchmark file.
+BENCH_SCHEMA = 1
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        rss //= 1024
+    return int(rss)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one benchmark spec execution."""
+
+    name: str
+    events_executed: int
+    wall_seconds: float
+    events_per_sec: float
+    peak_rss_kb: int
+    sim_end_time: int
+    digest: str
+
+    def row(self) -> str:
+        """One aligned human-readable report line."""
+        return (
+            f"  {self.name:<24} {self.events_executed:>12,} events  "
+            f"{self.wall_seconds:>7.2f}s  {self.events_per_sec / 1e3:>8.0f}k ev/s  "
+            f"rss {self.peak_rss_kb / 1024:.0f} MiB  digest {self.digest[:12]}"
+        )
+
+
+def _run_incast_rto(quick: bool) -> BenchResult:
+    """The RTO-heavy incast spec (timer restarts + timeout storms)."""
+    from repro.apps import IncastClient, tcp_flow_factory
+    from repro.lb import CongaSelector
+    from repro.sim import Simulator
+    from repro.topology import build_leaf_spine, scaled_testbed
+    from repro.transport import TcpParams
+
+    sim = Simulator(seed=7)
+    fabric = build_leaf_spine(
+        sim,
+        scaled_testbed(
+            hosts_per_leaf=16,
+            host_queue_bytes=1_000_000,  # shallow edge buffer: real timeouts
+        ),
+    )
+    fabric.finalize(CongaSelector.factory())
+    params = TcpParams(min_rto=milliseconds(1), initial_rto=milliseconds(1))
+    servers = [h for h in sorted(fabric.hosts) if h != 0][: (15 if quick else 31)]
+    client = IncastClient(
+        sim,
+        fabric,
+        client=0,
+        servers=servers,
+        flow_factory=tcp_flow_factory(params),
+        request_bytes=megabytes(5 if quick else 50),
+        repeats=1 if quick else 3,
+    )
+    started = perf_counter()
+    client.start()
+    sim.run(until=seconds(120))
+    wall = perf_counter() - started
+    digest = hashlib.sha256(
+        ",".join(str(d) for d in client.result.request_durations).encode()
+    ).hexdigest()
+    return BenchResult(
+        name="incast-rto",
+        events_executed=sim.events_executed,
+        wall_seconds=wall,
+        events_per_sec=sim.events_executed / wall if wall > 0 else 0.0,
+        peak_rss_kb=_peak_rss_kb(),
+        sim_end_time=sim.now,
+        digest=digest,
+    )
+
+
+def _run_fct_point(
+    name: str, scheme: str, workload: str, load: float, quick: bool, **spec_kwargs
+) -> BenchResult:
+    """One FCT experiment point through the declarative spec API."""
+    from repro.analysis.fct import records_digest
+    from repro.apps import ExperimentSpec
+
+    spec = ExperimentSpec(
+        scheme=scheme,
+        workload=workload,
+        load=load,
+        seed=42,
+        num_flows=spec_kwargs.pop("num_flows", 60 if quick else 400),
+        size_scale=spec_kwargs.pop("size_scale", 0.05),
+        **spec_kwargs,
+    )
+    point = spec.run()
+    return BenchResult(
+        name=name,
+        events_executed=point.events_executed,
+        wall_seconds=point.wall_seconds,
+        events_per_sec=point.events_per_sec,
+        peak_rss_kb=_peak_rss_kb(),
+        sim_end_time=point.end_time,
+        digest=records_digest(list(point.records)),
+    )
+
+
+#: The canonical spec set, in execution order.
+BENCH_SPECS: dict[str, Callable[[bool], BenchResult]] = {
+    "incast-rto": _run_incast_rto,
+    "fct-conga-enterprise": lambda quick: _run_fct_point(
+        "fct-conga-enterprise", "conga", "enterprise", 0.7, quick
+    ),
+    "fct-ecmp-datamining": lambda quick: _run_fct_point(
+        "fct-ecmp-datamining", "ecmp", "data-mining", 0.6, quick, size_scale=0.02
+    ),
+}
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    specs: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, BenchResult]:
+    """Execute the benchmark specs and return results keyed by spec name."""
+    names = list(BENCH_SPECS) if specs is None else specs
+    results: dict[str, BenchResult] = {}
+    for name in names:
+        runner = BENCH_SPECS.get(name)
+        if runner is None:
+            known = ", ".join(BENCH_SPECS)
+            raise ValueError(f"unknown bench spec {name!r}; available: {known}")
+        if progress is not None:
+            progress(f"bench: running {name} ({'quick' if quick else 'full'}) ...")
+        results[name] = runner(quick)
+        if progress is not None:
+            progress(results[name].row())
+    return results
+
+
+def load_bench_file(path: str | Path) -> dict | None:
+    """Read an existing benchmark file, or None if absent/unreadable."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def write_bench_file(
+    results: dict[str, BenchResult],
+    path: str | Path = BENCH_FILENAME,
+    *,
+    quick: bool = False,
+    set_baseline: bool = False,
+) -> dict:
+    """Merge ``results`` into the benchmark file at ``path`` and write it.
+
+    The first write (or ``set_baseline=True``) freezes the results as the
+    ``baseline``; later writes refresh ``results`` and recompute per-spec
+    ``speedup`` ratios against the stored baseline, so the committed file
+    always answers "how much faster is this kernel than the one the
+    harness first measured?".
+    """
+    path = Path(path)
+    existing = load_bench_file(path) or {}
+    serialized = {name: asdict(res) for name, res in results.items()}
+    baseline = existing.get("baseline")
+    if set_baseline or not baseline:
+        baseline = serialized
+    speedup = {}
+    for name, res in serialized.items():
+        base = baseline.get(name)
+        if base and base.get("events_per_sec"):
+            speedup[name] = round(
+                res["events_per_sec"] / base["events_per_sec"], 3
+            )
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "baseline": baseline,
+        "results": serialized,
+        "speedup": speedup,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA",
+    "BENCH_SPECS",
+    "BenchResult",
+    "load_bench_file",
+    "run_bench",
+    "write_bench_file",
+]

@@ -6,6 +6,25 @@ order so that runs are fully deterministic.  Components interact with the
 kernel through :class:`Simulator` (``now``, ``schedule``, ``run``) and through
 :class:`Timer` for restartable timeouts (retransmission timers, flowlet age
 scans, DRE decay, ...).
+
+Hot-path design notes (the evaluation needs millions of events per point):
+
+* Heap entries are ``(time, sequence, event)`` tuples, so ``heappush`` /
+  ``heappop`` compare integer tuples in C and never call back into Python —
+  ``(time, sequence)`` is unique, so the trailing event object is never
+  compared.
+* Events may carry one ``arg`` delivered to the callback at fire time, so
+  per-packet scheduling passes a bound method plus the packet instead of
+  allocating a fresh closure per hop.
+* :class:`Timer` uses *lazy reprogramming*: restarting a running timer only
+  moves a soft deadline; the already-queued heap entry re-arms itself when
+  it surfaces.  A TCP sender restarting its RTO on every ACK therefore costs
+  two attribute writes, not a heap push — while consuming one sequence
+  number per restart exactly like the eager implementation did, which keeps
+  event tie-breaking (and therefore whole-run results) bit-identical.
+* The heap compacts itself when more than half its entries are lazily
+  cancelled, so storms of cancelled timers cannot inflate every subsequent
+  push/pop forever.
 """
 
 from __future__ import annotations
@@ -26,20 +45,23 @@ class SimulationError(RuntimeError):
 
 
 class _Event:
-    """A calendar entry: ``(time, sequence)`` orders the heap.
+    """A calendar entry and cancellation handle.
 
-    Event push/pop is the simulator's hottest path, so this is a plain
-    ``__slots__`` class compared by a ``(time, sequence)`` key rather than a
-    ``@dataclass(order=True)`` (which pays field-by-field comparison and
-    ``__dict__`` storage per instance).
+    The heap orders ``(time, sequence)`` tuples, not these objects; the
+    object rides along as the tuple's third element so cancellation stays an
+    O(1) flag write.  ``arg`` is delivered to ``callback`` at fire time when
+    not None (the no-allocation path for per-packet events).
     """
 
-    __slots__ = ("time", "sequence", "callback", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "arg", "cancelled")
 
-    def __init__(self, time: int, sequence: int, callback: Callback) -> None:
+    def __init__(
+        self, time: int, sequence: int, callback: Callback, arg=None
+    ) -> None:
         self.time = time
         self.sequence = sequence
         self.callback = callback
+        self.arg = arg
         self.cancelled = False
 
     def __lt__(self, other: "_Event") -> bool:
@@ -50,6 +72,10 @@ class _Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
         return f"_Event(t={self.time}, seq={self.sequence}{state})"
+
+
+#: Heaps smaller than this are never worth compacting.
+_COMPACT_FLOOR = 64
 
 
 class Simulator:
@@ -64,17 +90,23 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 1) -> None:
-        self._heap: list[_Event] = []
+        # Entries are (time, sequence, event) for cancellable events and
+        # (time, sequence, None, callback, arg) for the no-handle fast path;
+        # (time, sequence) is unique so comparisons never reach index 2.
+        self._heap: list[tuple] = []
         self._now = 0
         self._sequence = 0
         self._seed = seed
         self._rngs: dict[str, np.random.Generator] = {}
         self._stopped = False
-        #: Perf counters: total events executed and wall-clock seconds spent
-        #: inside :meth:`run`.  Reporting only — they never influence the
-        #: simulation itself, so determinism is unaffected.
+        self._compact_at = _COMPACT_FLOOR
+        #: Perf counters: total events executed, wall-clock seconds spent
+        #: inside :meth:`run`, and lazy-cancel heap compactions performed.
+        #: Reporting only — they never influence the simulation itself, so
+        #: determinism is unaffected.
         self.events_executed = 0
         self.wall_seconds = 0.0
+        self.heap_compactions = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -112,25 +144,81 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
 
-    def schedule(self, delay: int, callback: Callback) -> _Event:
-        """Schedule ``callback`` to run ``delay`` ticks from now."""
-        return self.schedule_at(self._now + delay, callback)
+    def schedule(self, delay: int, callback: Callback, arg=None) -> _Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now.
 
-    def schedule_at(self, time: int, callback: Callback) -> _Event:
+        When ``arg`` is not None the callback is invoked as ``callback(arg)``
+        — the allocation-free alternative to binding the value in a closure.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event at {self._now + delay} "
+                f"before current time {self._now}"
+            )
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = _Event(time, sequence, callback, arg)
+        heap = self._heap
+        if len(heap) >= self._compact_at:
+            self._compact_heap()
+        heapq.heappush(heap, (time, sequence, event))
+        return event
+
+    def schedule_at(self, time: int, callback: Callback, arg=None) -> _Event:
         """Schedule ``callback`` to run at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        event = _Event(time, self._sequence, callback)
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
-        return event
+        return self.schedule(time - self._now, callback, arg)
+
+    def schedule_fast(self, delay: int, callback, arg) -> None:
+        """Schedule a *non-cancellable* ``callback(arg)`` with no handle.
+
+        The per-packet path schedules two events per hop, none of which is
+        ever cancelled; this variant skips the :class:`_Event` allocation
+        entirely and pushes a bare ``(time, sequence, None, callback, arg)``
+        entry.  It consumes one sequence number exactly like
+        :meth:`schedule`, so mixing the two paths cannot perturb event
+        tie-breaking.  Use only when the event will never be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule event at {self._now + delay} "
+                f"before current time {self._now}"
+            )
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heap = self._heap
+        if len(heap) >= self._compact_at:
+            self._compact_heap()
+        heapq.heappush(heap, (time, sequence, None, callback, arg))
 
     @staticmethod
     def cancel(event: _Event) -> None:
         """Cancel a pending event (lazy deletion)."""
         event.cancelled = True
+
+    def _compact_heap(self) -> None:
+        """Drop lazily-cancelled entries when they outnumber live ones.
+
+        Called from :meth:`schedule` at geometrically spaced heap sizes, so
+        the scan amortizes to O(1) per push; the rebuild itself only happens
+        when at least half the heap is dead weight.
+        """
+        heap = self._heap
+        live = [
+            entry for entry in heap if entry[2] is None or not entry[2].cancelled
+        ]
+        if len(live) * 2 <= len(heap):
+            # In-place replacement: the run loop (and any caller) may hold a
+            # local alias to the heap list, so the list object must survive.
+            heap[:] = live
+            heapq.heapify(heap)
+            self.heap_compactions += 1
+        self._compact_at = max(_COMPACT_FLOOR, 2 * len(heap))
 
     # -- execution -----------------------------------------------------------
 
@@ -148,16 +236,25 @@ class Simulator:
         started = perf_counter()
         try:
             while heap and not self._stopped:
-                event = heap[0]
-                if event.cancelled:
+                entry = heap[0]
+                event = entry[2]
+                if event is not None and event.cancelled:
                     pop(heap)
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     self._now = until
                     return self._now
                 pop(heap)
-                self._now = event.time
-                event.callback()
+                self._now = time
+                if event is None:  # bare (time, seq, None, callback, arg)
+                    entry[3](entry[4])
+                else:
+                    arg = event.arg
+                    if arg is None:
+                        event.callback()
+                    else:
+                        event.callback(arg)
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
@@ -185,10 +282,12 @@ class Simulator:
         *only* cancelled entries reports zero (and frees them) instead of
         making idle-detection loops spin until their timestamps pass.
         Cancelled events buried under live ones are still counted — they are
-        discarded cheaply when they surface.
+        discarded cheaply when they surface.  A parked :class:`Timer` event
+        whose soft deadline moved counts as one live event, exactly like the
+        eager event it replaces.
         """
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2] is not None and heap[0][2].cancelled:
             heapq.heappop(heap)
         return len(heap)
 
@@ -206,39 +305,86 @@ class Timer:
     Typical uses: TCP retransmission timers, CONGA metric-aging scans, and
     DRE decay ticks (via :meth:`PeriodicTimer`-style rescheduling in the
     callback).  ``start`` on a running timer restarts it.
+
+    Restarts are *lazily reprogrammed*: pushing the expiry later only moves
+    ``_deadline`` and records the restart's sequence number; the heap entry
+    already queued at the old expiry re-arms itself at the new deadline when
+    it fires.  Each restart still consumes exactly one kernel sequence
+    number — the same count the eager cancel-and-repush implementation
+    consumed — so event tie-breaking, and with it whole-run determinism, is
+    unchanged while per-ACK RTO restarts stop touching the heap entirely.
+    Only a restart that pulls the expiry *earlier* than the queued entry
+    (e.g. an RTT collapse shrinking the RTO) pays for a cancel and re-push.
     """
+
+    __slots__ = ("_sim", "_callback", "_event", "_deadline", "_seq")
 
     def __init__(self, sim: Simulator, callback: Callback) -> None:
         self._sim = sim
         self._callback = callback
         self._event: _Event | None = None
+        self._deadline: int | None = None
+        self._seq = 0
 
     @property
     def running(self) -> bool:
         """Whether the timer currently has a pending expiry."""
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def expires_at(self) -> int | None:
         """Absolute expiry time, or None if not running."""
-        if self.running:
-            assert self._event is not None
-            return self._event.time
-        return None
+        return self._deadline
 
     def start(self, delay: int) -> None:
         """(Re)arm the timer to fire ``delay`` ticks from now."""
-        self.stop()
-        self._event = self._sim.schedule(delay, self._fire)
+        if delay < 0:
+            raise SimulationError(f"cannot start a timer {-delay} ticks in the past")
+        sim = self._sim
+        deadline = sim._now + delay
+        sequence = sim._sequence
+        sim._sequence = sequence + 1
+        self._deadline = deadline
+        self._seq = sequence
+        event = self._event
+        if event is not None:
+            if event.time <= deadline:
+                return  # soft move: the queued entry re-arms on surfacing
+            event.cancelled = True  # pulled earlier: the entry is useless
+        event = _Event(deadline, sequence, self._fire)
+        self._event = event
+        heapq.heappush(sim._heap, (deadline, sequence, event))
 
     def stop(self) -> None:
         """Disarm the timer if it is running."""
-        if self._event is not None:
-            Simulator.cancel(self._event)
+        event = self._event
+        if event is not None:
+            event.cancelled = True
             self._event = None
+        self._deadline = None
 
     def _fire(self) -> None:
+        deadline = self._deadline
+        if deadline is None:  # pragma: no cover - stop() cancels the entry
+            self._event = None
+            return
+        sim = self._sim
+        event = self._event
+        sequence = self._seq
+        if deadline > sim._now or sequence != event.sequence:
+            # The soft deadline moved while we were queued: re-arm at the
+            # deadline, reusing this entry's object and the sequence number
+            # allocated by the restart that moved it.  The sequence check
+            # matters when the restart landed exactly on the queued expiry
+            # (deadline == now): the eager implementation would have fired
+            # at the restart's sequence position among same-time events, so
+            # re-push rather than firing early at the stale position.
+            event.time = deadline
+            event.sequence = sequence
+            heapq.heappush(sim._heap, (deadline, sequence, event))
+            return
         self._event = None
+        self._deadline = None
         self._callback()
 
 

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.dre import DRE
 from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.net import port as _port_mod
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.port import Port
@@ -54,6 +55,11 @@ class LeafSwitch(Node):
         self.tep: TunnelEndpoint | None = None
         self.selector: "UplinkSelector | None" = None
         self.dropped_unroutable = 0
+        # Routing cache: destination leaf -> candidate uplink list, valid
+        # while the global link up/down epoch is unchanged.  Callers (the
+        # selectors) must not mutate the returned lists.
+        self._route_cache: dict[int, list[int]] = {}
+        self._route_epoch = -1
 
     # -- wiring ---------------------------------------------------------------
 
@@ -92,6 +98,7 @@ class LeafSwitch(Node):
         self.uplinks.append(port)
         self.uplink_spine.append(spine)
         self.uplink_dres.append(dre)
+        _port_mod._bump_topology_epoch()
         return port
 
     def finalize(self, selector_factory: "SelectorFactory") -> None:
@@ -187,12 +194,24 @@ class LeafSwitch(Node):
     # -- forwarding -----------------------------------------------------------
 
     def candidate_uplinks(self, dst_leaf: int) -> list[int]:
-        """Uplinks that are up and whose spine can still reach ``dst_leaf``."""
-        return [
-            index
-            for index, port in enumerate(self.uplinks)
-            if port.up and self.uplink_spine[index].can_reach(dst_leaf)
-        ]
+        """Uplinks that are up and whose spine can still reach ``dst_leaf``.
+
+        The result is cached per destination leaf until a link anywhere
+        fails or is restored (or an uplink is added here); do not mutate
+        the returned list.
+        """
+        if self._route_epoch != _port_mod._topology_epoch:
+            self._route_cache.clear()
+            self._route_epoch = _port_mod._topology_epoch
+        cached = self._route_cache.get(dst_leaf)
+        if cached is None:
+            cached = [
+                index
+                for index, port in enumerate(self.uplinks)
+                if port.up and self.uplink_spine[index].can_reach(dst_leaf)
+            ]
+            self._route_cache[dst_leaf] = cached
+        return cached
 
     def receive(self, packet: Packet, port: Port) -> None:
         if packet.overlay is not None:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from repro.core.dre import DRE
 from repro.core.params import CongaParams, DEFAULT_PARAMS
 from repro.lb.ecmp import ecmp_hash
+from repro.net import port as _port_mod
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.port import Port
@@ -38,6 +39,11 @@ class SpineSwitch(Node):
         self.dres: list[DRE] = []
         self._leaf_ports: dict[int, list[int]] = {}
         self.dropped_unroutable = 0
+        # Routing cache: leaf id -> list of up port indices, valid while the
+        # global link up/down epoch is unchanged.  Callers must not mutate
+        # the returned lists.
+        self._route_cache: dict[int, list[int]] = {}
+        self._route_epoch = -1
 
     # -- wiring ---------------------------------------------------------------
 
@@ -57,6 +63,9 @@ class SpineSwitch(Node):
         self.dres.append(dre)
         port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
         self._leaf_ports.setdefault(leaf_id, []).append(port.index)
+        # New wiring changes reachability fabric-wide (leaf candidate caches
+        # consult this spine via can_reach), so bump the global epoch.
+        _port_mod._bump_topology_epoch()
         return port
 
     @staticmethod
@@ -69,12 +78,23 @@ class SpineSwitch(Node):
     # -- forwarding -----------------------------------------------------------
 
     def ports_to_leaf(self, leaf_id: int) -> list[int]:
-        """Indices of *up* ports toward ``leaf_id``."""
-        return [
-            index
-            for index in self._leaf_ports.get(leaf_id, [])
-            if self.ports[index].up
-        ]
+        """Indices of *up* ports toward ``leaf_id``.
+
+        The result is cached per leaf until a link anywhere fails or is
+        restored (or a port is added here); do not mutate the returned list.
+        """
+        if self._route_epoch != _port_mod._topology_epoch:
+            self._route_cache.clear()
+            self._route_epoch = _port_mod._topology_epoch
+        cached = self._route_cache.get(leaf_id)
+        if cached is None:
+            cached = [
+                index
+                for index in self._leaf_ports.get(leaf_id, [])
+                if self.ports[index].up
+            ]
+            self._route_cache[leaf_id] = cached
+        return cached
 
     def can_reach(self, leaf_id: int) -> bool:
         """Whether at least one link toward ``leaf_id`` is up."""

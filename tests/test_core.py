@@ -131,6 +131,35 @@ class TestDRE:
         fast.on_transmit(100_000)
         assert slow.utilization() == pytest.approx(4 * fast.utilization())
 
+    def test_decay_table_is_bit_identical_to_direct_pow(self):
+        """The precomputed decay table must match ``(1-alpha)**k`` exactly.
+
+        The lazy decay switched from a per-call float pow to a table lookup
+        for small elapsed tick counts; any numeric drift between the two
+        paths would silently change CONGA's congestion metrics, so equality
+        here must be exact, not approximate.
+        """
+        from repro.core.dre import _DECAY_TABLE_SIZE
+
+        params = DEFAULT_PARAMS
+        dre = DRE(Simulator(), gbps(10), params)
+        base = 1.0 - params.alpha
+        for k in range(_DECAY_TABLE_SIZE):
+            assert dre._decay_table[k] == base**k  # bit-exact, no approx
+
+    def test_decay_identical_for_table_and_fallback_elapsed(self):
+        """Registers decayed via table vs direct pow agree bit for bit."""
+        from repro.core.dre import _DECAY_TABLE_SIZE
+
+        params = DEFAULT_PARAMS
+        for elapsed in (1, 7, _DECAY_TABLE_SIZE - 1, _DECAY_TABLE_SIZE + 3):
+            sim = Simulator()
+            dre = DRE(sim, gbps(10), params)
+            dre.on_transmit(123_457)
+            sim.run(until=params.dre_period * elapsed)
+            expected = 123_457 * (1.0 - params.alpha) ** elapsed
+            assert dre.register == expected  # exact float equality
+
 
 class TestFlowletTable:
     def _table(self, sim, timeout=microseconds(500)):

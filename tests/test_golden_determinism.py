@@ -1,0 +1,114 @@
+"""Golden determinism fixtures for the simulation kernel's hot paths.
+
+The kernel, port, timer, and packet fast paths are rewritten for speed from
+time to time (ISSUE 2's event-kernel overhaul being the first); these tests
+pin sha256 digests of the *complete per-flow FCT records* of three schemes
+(ecmp / conga / dctcp) on a small fixed-seed spec, so any refactor that
+changes simulation behaviour — event ordering, timer firing, serialization
+rounding — fails loudly instead of silently shifting the paper's figures.
+
+The fixture was captured on the pre-optimization (PR 1) kernel; matching it
+proves an optimized kernel is *bit-identical*, not just statistically close.
+
+Regenerate (only when behaviour is changed on purpose)::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fct import records_digest
+from repro.apps import ExperimentSpec
+from repro.topology import scaled_testbed
+from repro.units import kilobytes
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "summary_digests.json"
+
+#: The pinned scenario: small enough for tier-1, busy enough that every hot
+#: path (timers, fast retransmit, flowlets, DRE decay, ECN marking) runs.
+SCHEMES = ("ecmp", "conga", "dctcp")
+
+
+def golden_spec(scheme: str) -> ExperimentSpec:
+    """The frozen spec each golden digest is computed from."""
+    config = (
+        scaled_testbed(ecn_threshold_bytes=kilobytes(100))
+        if scheme == "dctcp"
+        else None
+    )
+    return ExperimentSpec(
+        scheme=scheme,
+        workload="enterprise",
+        load=0.6,
+        seed=7,
+        num_flows=60,
+        size_scale=0.05,
+        config=config,
+    )
+
+
+def compute_entry(scheme: str) -> dict:
+    """Run the golden spec for ``scheme`` and summarize it for the fixture."""
+    point = golden_spec(scheme).run()
+    assert point.summary is not None
+    return {
+        "digest": records_digest(list(point.records)),
+        "completed": point.completed,
+        "arrivals": point.arrivals,
+        "mean_normalized": point.summary.mean_normalized,
+        "p99_normalized": point.summary.p99_normalized,
+        "end_time": point.end_time,
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing at {GOLDEN_PATH}; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_determinism.py --update`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_summary_bit_identical(scheme):
+    golden = _load_golden()
+    assert scheme in golden, f"no golden entry for {scheme}; regenerate fixture"
+    entry = compute_entry(scheme)
+    expected = golden[scheme]
+    # The digest covers every integer field of every flow record; the
+    # aggregate fields are asserted too so a mismatch names what moved.
+    assert entry["completed"] == expected["completed"]
+    assert entry["arrivals"] == expected["arrivals"]
+    assert entry["end_time"] == expected["end_time"]
+    assert entry["mean_normalized"] == expected["mean_normalized"]
+    assert entry["p99_normalized"] == expected["p99_normalized"]
+    assert entry["digest"] == expected["digest"]
+
+
+def test_same_process_repeatability():
+    """Two runs of one spec in one process must agree exactly."""
+    first = compute_entry("ecmp")
+    second = compute_entry("ecmp")
+    assert first == second
+
+
+def _update() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    golden = {scheme: compute_entry(scheme) for scheme in SCHEMES}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for scheme, entry in golden.items():
+        print(f"  {scheme:<8} digest {entry['digest'][:16]}  "
+              f"{entry['completed']}/{entry['arrivals']} flows")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

@@ -1,0 +1,103 @@
+"""Tests for the tracked kernel benchmark harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    BENCH_SPECS,
+    BenchResult,
+    load_bench_file,
+    run_bench,
+    write_bench_file,
+)
+
+
+def _result(name: str, ev_per_sec: float) -> BenchResult:
+    return BenchResult(
+        name=name,
+        events_executed=1000,
+        wall_seconds=1000 / ev_per_sec,
+        events_per_sec=ev_per_sec,
+        peak_rss_kb=4096,
+        sim_end_time=123,
+        digest="d" * 64,
+    )
+
+
+class TestBenchFile:
+    def test_first_write_freezes_baseline(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = write_bench_file({"a": _result("a", 100.0)}, path)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["baseline"]["a"]["events_per_sec"] == 100.0
+        assert payload["speedup"]["a"] == 1.0
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+
+    def test_later_writes_keep_baseline_and_compute_speedup(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_file({"a": _result("a", 100.0)}, path)
+        payload = write_bench_file({"a": _result("a", 160.0)}, path)
+        assert payload["baseline"]["a"]["events_per_sec"] == 100.0
+        assert payload["results"]["a"]["events_per_sec"] == 160.0
+        assert payload["speedup"]["a"] == 1.6
+
+    def test_set_baseline_overwrites(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_file({"a": _result("a", 100.0)}, path)
+        payload = write_bench_file(
+            {"a": _result("a", 200.0)}, path, set_baseline=True
+        )
+        assert payload["baseline"]["a"]["events_per_sec"] == 200.0
+        assert payload["speedup"]["a"] == 1.0
+
+    def test_new_spec_without_baseline_entry_gets_no_speedup(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_file({"a": _result("a", 100.0)}, path)
+        payload = write_bench_file({"b": _result("b", 50.0)}, path)
+        assert "b" not in payload["speedup"]
+
+    def test_load_missing_or_corrupt_returns_none(self, tmp_path):
+        assert load_bench_file(tmp_path / "absent.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_bench_file(bad) is None
+        notdict = tmp_path / "list.json"
+        notdict.write_text("[1, 2]")
+        assert load_bench_file(notdict) is None
+
+
+class TestRunBench:
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench spec"):
+            run_bench(specs=["no-such-spec"])
+
+    def test_quick_fct_spec_runs_and_reports(self):
+        lines = []
+        results = run_bench(
+            quick=True, specs=["fct-ecmp-datamining"], progress=lines.append
+        )
+        result = results["fct-ecmp-datamining"]
+        assert result.events_executed > 10_000
+        assert result.events_per_sec > 0
+        assert len(result.digest) == 64
+        assert result.sim_end_time > 0
+        assert any("fct-ecmp-datamining" in line for line in lines)
+
+    def test_quick_runs_are_behaviourally_deterministic(self):
+        first = run_bench(quick=True, specs=["fct-ecmp-datamining"])
+        second = run_bench(quick=True, specs=["fct-ecmp-datamining"])
+        a = first["fct-ecmp-datamining"]
+        b = second["fct-ecmp-datamining"]
+        assert a.digest == b.digest
+        assert a.events_executed == b.events_executed
+        assert a.sim_end_time == b.sim_end_time
+
+    def test_canonical_spec_set(self):
+        assert list(BENCH_SPECS) == [
+            "incast-rto",
+            "fct-conga-enterprise",
+            "fct-ecmp-datamining",
+        ]

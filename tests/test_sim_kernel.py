@@ -264,3 +264,185 @@ class TestDeterminism:
             return trace
 
         assert run() == run()
+
+
+class TestLazyTimerReprogramming:
+    """The lazy-restart fast path must be observationally identical to an
+    eager cancel-and-repush timer while doing O(1) heap work per restart."""
+
+    def test_restart_storm_keeps_one_heap_entry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(5)
+        baseline = sim.pending_events
+        for _ in range(10_000):
+            timer.start(100)  # each restart pushes the deadline later
+        # Lazy reprogramming: restarts move the soft deadline without
+        # touching the heap, so the storm leaves no debris behind.
+        assert sim.pending_events == baseline
+        sim.run()
+        assert fired == [100]
+
+    def test_restart_storm_consumes_one_sequence_per_start(self):
+        # Sequence-number parity with the eager implementation is what keeps
+        # same-time event tie-breaking (and whole runs) bit-identical.
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        before = sim._sequence
+        timer.start(5)
+        for _ in range(1000):
+            timer.start(100)
+        assert sim._sequence - before == 1001
+
+    def test_restart_earlier_fires_at_new_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(500)
+        sim.schedule(10, lambda: timer.start(20))  # pull expiry earlier
+        sim.run()
+        assert fired == [30]
+
+    def test_restart_onto_parked_expiry_keeps_restart_order(self):
+        # A restart landing exactly on the queued expiry must fire at the
+        # *restart's* sequence position among same-time events, as eager
+        # would — not at the parked entry's older position.
+        sim = Simulator()
+        order = []
+        timer = Timer(sim, lambda: order.append("timer"))
+        timer.start(30)  # parked entry at t=30, oldest sequence
+        sim.schedule(30, lambda: order.append("rival"))
+        sim.schedule(20, lambda: timer.start(10))  # deadline 30 == parked
+        sim.run()
+        # Eager semantics: the restart re-inserts the timer *after* the
+        # rival, so the rival fires first despite the older parked entry.
+        assert order == ["rival", "timer"]
+
+    def test_stop_start_interleavings(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(50)
+        sim.schedule(10, timer.stop)
+        sim.schedule(20, lambda: timer.start(15))   # refire at 35
+        sim.schedule(30, lambda: timer.start(100))  # push to 130
+        sim.schedule(40, timer.stop)
+        sim.schedule(60, lambda: timer.start(5))    # refire at 65
+        sim.run()
+        assert fired == [65]
+
+    def test_restart_from_callback_rearms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(10)
+
+        timer._callback = tick
+        timer.start(10)
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_running_and_expiry_track_soft_deadline(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(50)
+        sim.schedule(10, lambda: timer.start(100))
+        sim.run(until=20)
+        assert timer.running
+        assert timer.expires_at == 110
+        sim.run()
+        assert not timer.running
+        assert timer.expires_at is None
+
+    def test_negative_delay_rejected(self):
+        timer = Timer(Simulator(), lambda: None)
+        with pytest.raises(SimulationError):
+            timer.start(-1)
+
+    def test_pending_live_events_counts_parked_timer_once(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.start(10)
+        for _ in range(100):
+            timer.start(50)
+        assert sim.pending_live_events == 1
+        timer.stop()
+        assert sim.pending_live_events == 0
+
+    def test_run_until_idle_with_parked_timers(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10)
+        timer.start(250)
+        run_until_idle(sim, quantum=100)
+        assert fired == [250]
+
+
+class TestHeapCompaction:
+    def test_cancelled_storm_triggers_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(1000 + i, lambda: None) for i in range(5000)]
+        for event in events:
+            Simulator.cancel(event)
+        # Pushing more events crosses the compaction threshold and sheds the
+        # dead entries instead of carrying them in every push/pop.
+        for i in range(5000):
+            sim.schedule(10 + i, lambda: None)
+        assert sim.heap_compactions >= 1
+        assert sim.pending_events < 10_000
+
+    def test_compaction_during_run_keeps_draining_new_events(self):
+        # Regression: compaction must not replace the heap list object out
+        # from under the run loop's local alias, or every event scheduled
+        # after the compaction silently never fires.
+        sim = Simulator()
+        for i in range(300):
+            Simulator.cancel(sim.schedule(10_000 + i, lambda: None))
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 50:
+                sim.schedule(10, lambda: chain(n + 1))
+
+        sim.schedule(1, lambda: chain(0))
+        sim.run()
+        assert sim.heap_compactions >= 1
+        assert seen == list(range(51))
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        doomed = [sim.schedule(500, lambda: None) for _ in range(500)]
+        order = []
+        for delay in (40, 10, 30, 20):
+            sim.schedule(delay, lambda d=delay: order.append(d))
+        for event in doomed:
+            Simulator.cancel(event)
+        for i in range(100):  # trigger the compaction scan
+            sim.schedule(60 + i, lambda: None)
+        sim.run()
+        assert order == [10, 20, 30, 40]
+
+
+class TestEventArg:
+    def test_schedule_with_arg_invokes_callback_with_it(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, seen.append, "payload")
+        sim.schedule_at(7, seen.append, "absolute")
+        sim.run()
+        assert seen == ["payload", "absolute"]
+
+    def test_arg_events_cancel(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(5, seen.append, "nope")
+        Simulator.cancel(event)
+        sim.run()
+        assert seen == []
