@@ -94,7 +94,7 @@ def register_scheme(spec: SchemeSpec, *, replace: bool = False) -> SchemeSpec:
             f"scheme {spec.name!r} is already registered; "
             "pass replace=True to overwrite it"
         )
-    SCHEMES[spec.name] = spec
+    SCHEMES[spec.name] = spec  # repro-lint: ignore[S203] -- the sanctioned write point
     return spec
 
 

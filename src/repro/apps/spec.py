@@ -274,9 +274,9 @@ class ExperimentSpec:
 
     def run(self) -> "PointResult":
         """Execute this point and return a picklable :class:`PointResult`."""
-        started = perf_counter()
+        started = perf_counter()  # repro-lint: ignore[D101] -- wall_seconds is reporting only
         live = self.run_live()
-        wall = perf_counter() - started
+        wall = perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
         return PointResult.from_live(self, live, wall_seconds=wall)
 
 

@@ -198,9 +198,9 @@ class CrossRackTraffic:
 
     def _schedule_arrival(self, client: int) -> None:
         gap_seconds = self._rng.exponential(1.0 / self._per_client_rate)
-        self.sim.schedule(
-            max(1, round(gap_seconds * 1e9)), lambda c=client: self._arrive(c)
-        )
+        # Bound method + arg slot instead of a closure: keeps the traffic
+        # generator picklable and the per-arrival path allocation-free.
+        self.sim.schedule(max(1, round(gap_seconds * 1e9)), self._arrive, client)
 
     def _arrive(self, client: int) -> None:
         if self._remaining <= 0:

@@ -7,6 +7,7 @@ Examples::
     conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
     conga-repro bench --quick
+    conga-repro lint src --format json
     conga-repro poa
 
 (Equivalently: ``python -m repro.cli ...``.)
@@ -263,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
     poa.set_defaults(func=_cmd_poa)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 

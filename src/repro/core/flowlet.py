@@ -31,6 +31,11 @@ from repro.net.hashing import stable_hash
 if TYPE_CHECKING:
     from repro.sim import Simulator
 
+#: A flow's identity for hashing purposes.  Transport code passes
+#: (src, dst, src_port, dst_port, proto)-style tuples; subflow IDs may be
+#: strings, so components are int-or-str.
+FiveTuple = tuple[int | str, ...]
+
 
 @dataclass(slots=True)
 class FlowletEntry:
@@ -64,14 +69,14 @@ class FlowletTable:
         self.new_flowlets = 0
         self.expired_flowlets = 0
 
-    def _slot(self, five_tuple: tuple) -> int:
+    def _slot(self, five_tuple: FiveTuple) -> int:
         return stable_hash(five_tuple, salt=0x5F10) % self.size
 
     def _expired(self, entry: FlowletEntry) -> bool:
         period = self.params.flowlet_timeout
         return self.sim.now // period - entry.last_seen // period >= 2
 
-    def lookup(self, five_tuple: tuple) -> FlowletEntry:
+    def lookup(self, five_tuple: FiveTuple) -> FlowletEntry:
         """Return the entry for ``five_tuple``, applying lazy expiry.
 
         A valid returned entry means the packet belongs to an active flowlet
@@ -101,4 +106,4 @@ class FlowletTable:
         )
 
 
-__all__ = ["FlowletEntry", "FlowletTable"]
+__all__ = ["FiveTuple", "FlowletEntry", "FlowletTable"]

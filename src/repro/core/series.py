@@ -17,7 +17,9 @@ subsample (no reservoir randomness, no recency bias).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Generic, Iterable, Iterator, TypeVar, overload
+
+T = TypeVar("T")
 
 #: Default retained-sample bound; 8k integers ≈ a few hundred KB per port
 #: worst case, while a percentile over 4–8k uniform samples is stable to
@@ -25,7 +27,7 @@ from typing import Iterable, Iterator
 DEFAULT_SERIES_LIMIT = 8192
 
 
-class DecimatedSeries:
+class DecimatedSeries(Generic[T]):
     """A list-like, bounded, stride-decimated series of samples.
 
     Supports ``append``, iteration, indexing, ``len``, and equality against
@@ -36,7 +38,7 @@ class DecimatedSeries:
     __slots__ = ("limit", "stride", "offered", "_next_keep", "_values")
 
     def __init__(
-        self, limit: int = DEFAULT_SERIES_LIMIT, values: Iterable | None = None
+        self, limit: int = DEFAULT_SERIES_LIMIT, values: Iterable[T] | None = None
     ) -> None:
         if limit < 2:
             raise ValueError(f"limit must be at least 2, got {limit}")
@@ -44,11 +46,11 @@ class DecimatedSeries:
         self.stride = 1
         self.offered = 0
         self._next_keep = 0
-        self._values: list = []
+        self._values: list[T] = []
         for value in values or ():
             self.append(value)
 
-    def append(self, value) -> None:
+    def append(self, value: T) -> None:
         """Offer one sample; it is retained iff it lands on the stride."""
         offered = self.offered
         self.offered = offered + 1
@@ -63,23 +65,29 @@ class DecimatedSeries:
             self._next_keep = len(values) * self.stride
 
     @property
-    def values(self) -> list:
+    def values(self) -> list[T]:
         """A copy of the retained samples, oldest first."""
         return list(self._values)
 
     def __len__(self) -> int:
         return len(self._values)
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[T]:
         return iter(self._values)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> T: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[T]: ...
+
+    def __getitem__(self, index: int | slice) -> T | list[T]:
         return self._values[index]
 
     def __bool__(self) -> bool:
         return bool(self._values)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, DecimatedSeries):
             return self._values == other._values
         if isinstance(other, (list, tuple)):

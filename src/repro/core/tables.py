@@ -167,7 +167,7 @@ class CongestionFromLeafTable:
         """
         return [
             src_leaf
-            for src_leaf, row in self._rows.items()
+            for src_leaf, row in sorted(self._rows.items())
             if any(cell.valid and cell.changed for cell in row)
         ]
 

@@ -63,7 +63,7 @@ class CentralizedSelector(UplinkSelector):
         """Return and reset {flow: (bytes since last drain, dst leaf)}."""
         observed = {
             key: (size, self.flow_dst_leaf[key])
-            for key, size in self.flow_bytes.items()
+            for key, size in sorted(self.flow_bytes.items())
         }
         self.flow_bytes.clear()
         self.flow_dst_leaf.clear()
@@ -121,7 +121,7 @@ class CentralizedScheduler:
         for leaf in self.fabric.leaves:
             selector = leaf.selector
             assert isinstance(selector, CentralizedSelector)
-            for key, pin in selector.pinned.items():
+            for key, pin in sorted(selector.pinned.items()):
                 previous_pins[(leaf.leaf_id, key)] = pin
             selector.pinned.clear()
             host_rate = min(
@@ -131,7 +131,9 @@ class CentralizedScheduler:
             threshold_bytes = (
                 self.elephant_fraction * host_rate * self.interval / (8 * 1e9)
             )
-            for key, (size, dst_leaf) in selector.drain_counters().items():
+            # Sorted by flow key: ties in the first-fit order below must not
+            # depend on the order flows first sent a packet this interval.
+            for key, (size, dst_leaf) in sorted(selector.drain_counters().items()):
                 if size >= threshold_bytes:
                     elephants.append((size, leaf, key, dst_leaf))
         if not elephants:

@@ -1,0 +1,44 @@
+"""Static analysis for the repro codebase (``conga-repro lint``).
+
+An AST-based analyzer (stdlib only — no runtime dependencies) that turns
+the repo's determinism contract and CONGA's simulation invariants into
+machine-checked rules.  The golden digest fixtures catch nondeterminism
+*after* it ships; these rules reject the code patterns that introduce it
+before any simulation runs.
+
+Rule classes:
+
+* ``D1xx`` (determinism): wall-clock reads, ambient randomness, process-
+  dependent hashing, unordered iteration, float accumulation in loops.
+* ``S2xx`` (simulation invariants): picklable event callbacks, frozen
+  experiment specs, registry writes through the registration API.
+
+See DESIGN.md for the full catalog with paper references, and README.md
+for CLI usage.
+"""
+
+from repro.lint.engine import (
+    LintReport,
+    ModuleContext,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.fixer import apply_suppressions
+from repro.lint.rules import ALL_RULES, UnknownRuleError, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "UnknownRuleError",
+    "Violation",
+    "apply_suppressions",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,109 @@
+"""Argument handling for the ``conga-repro lint`` subcommand."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.engine import lint_paths
+from repro.lint.fixer import apply_suppressions
+from repro.lint.rules import ALL_RULES, UnknownRuleError, get_rules
+
+
+def add_lint_parser(
+    subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> argparse.ArgumentParser:
+    """Register the ``lint`` subcommand on the main CLI's subparsers."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism / simulation-invariant static analyzer",
+        description=(
+            "AST-based static analysis enforcing the repo's determinism "
+            "contract (D1xx rules) and simulator invariants (S2xx rules). "
+            "See DESIGN.md for the rule catalog."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="violation output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--fix-suppress",
+        action="store_true",
+        help=(
+            "insert '# repro-lint: ignore[RULE]' comments for every current "
+            "finding (triage helper for legacy violations)"
+        ),
+    )
+    parser.set_defaults(func=cmd_lint)
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scopes) if rule.scopes else "src/repro (all)"
+        print(f"{rule.rule_id}  {rule.title}")
+        print(f"      scope: {scope}")
+        print(f"      guards: {rule.rationale}")
+        print(f"      derives from: {rule.paper_ref}")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Entry point shared by ``conga-repro lint`` and tests."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        rules = get_rules(args.select)
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fix_suppress:
+        edited = apply_suppressions(report.violations)
+        for path, count in edited.items():
+            print(f"suppressed {count} line(s) in {path}")
+        report = lint_paths(args.paths, rules)  # re-check after edits
+
+    if args.output_format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for violation in report.violations:
+            print(violation.format())
+        summary = (
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_checked} file(s)"
+            if report.violations
+            else f"clean: {report.files_checked} file(s), 0 violations"
+        )
+        print(summary)
+    return 0 if report.ok else 1
+
+
+__all__ = ["add_lint_parser", "cmd_lint"]

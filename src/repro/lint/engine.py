@@ -1,0 +1,296 @@
+"""Rule engine for the repro static analyzer (``conga-repro lint``).
+
+The engine is deliberately small: it walks Python files, parses each one
+once with the stdlib :mod:`ast`, hands the tree to every applicable rule,
+and filters the resulting violations through suppression comments.  Rules
+live in :mod:`repro.lint.rules`; each one encodes a determinism or
+simulation invariant of this reproduction (see DESIGN.md for the catalog
+and the paper sections the invariants derive from).
+
+Suppression comments
+--------------------
+Two forms are recognized, both parsed from real tokenizer output so they
+work anywhere a comment does:
+
+* ``# repro-lint: ignore[D101]`` — suppress the listed rule ids (comma
+  separated, ``*`` for all) on this physical line.  Trailing prose after
+  the bracket is allowed and encouraged: state *why* the finding is safe.
+* ``# repro-lint: ignore-file[D101]`` — suppress the listed rule ids for
+  the whole file (used e.g. by :mod:`repro.perf`, which is wall-clock
+  measurement code by definition).
+
+A violation is matched against the physical line of the AST node that
+raised it (``node.lineno``), so on a multi-line statement the suppression
+comment belongs on the statement's first line.
+
+Scoping
+-------
+Rules may restrict themselves to subpackages of ``repro`` (e.g. the
+unordered-iteration rule only patrols ``sim/``, ``switch/``, ``lb/`` and
+``core/``, where iteration order can reach tie-breaking or the RNG).  The
+scope of a file is derived from its path: everything after the last
+``repro`` path component.  Files outside a ``repro`` package tree (test
+fixtures, scratch scripts) have no scope and are checked by every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+#: Directories never descended into when expanding directory arguments.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".repro-cache",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>ignore-file|ignore)\s*"
+    r"\[(?P<rules>[A-Za-z0-9*,\s]+)\]"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scopes`` restricts a rule to top-level subpackages of ``repro``
+    (``None`` means the whole tree); files outside any ``repro`` package
+    are always in scope so fixtures and scripts can be checked too.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: The invariant this rule guards, in one sentence (shown by
+    #: ``--list-rules`` and quoted in DESIGN.md).
+    rationale: str = ""
+    #: Paper section the invariant derives from ("" when repo-internal).
+    paper_ref: str = ""
+    scopes: tuple[str, ...] | None = None
+
+    def applies(self, module: "ModuleContext") -> bool:
+        """Whether this rule patrols ``module`` (scope check)."""
+        if self.scopes is None or module.scope is None:
+            return True
+        return bool(module.scope) and module.scope[0] in self.scopes
+
+    def check(self, module: "ModuleContext") -> Iterator[Violation]:
+        """Yield violations found in ``module``."""
+        raise NotImplementedError
+
+    def violation(
+        self, module: "ModuleContext", node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule=self.rule_id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: Path components after the last ``repro`` directory, e.g.
+    #: ``("sim", "kernel.py")``; ``None`` when the file is not inside a
+    #: ``repro`` package tree.
+    scope: tuple[str, ...] | None
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from comments."""
+
+    by_line: dict[int, set[str]]
+    whole_file: set[str]
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether ``violation`` is silenced by a comment."""
+        for pool in (self.whole_file, self.by_line.get(violation.line, ())):
+            if "*" in pool or violation.rule in pool:
+                return True
+        return False
+
+
+def scope_of(path: Path) -> tuple[str, ...] | None:
+    """Subpackage scope of ``path`` relative to its ``repro`` package root."""
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return tuple(parts[index + 1:])
+    return None
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression comments from ``source`` via the tokenizer."""
+    by_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        tokens = list(tokenize.generate_tokens(lambda: next(lines, "")))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions(by_line, whole_file)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        rules.discard("")
+        if match.group("kind") == "ignore-file":
+            whole_file |= rules
+        else:
+            by_line.setdefault(token.start[0], set()).update(rules)
+    return Suppressions(by_line, whole_file)
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+
+
+def lint_source(
+    source: str,
+    rules: Sequence[Rule],
+    *,
+    path: Path | str = "<string>",
+) -> list[Violation]:
+    """Lint one in-memory module; the workhorse behind :func:`lint_paths`."""
+    path = Path(path)
+    display = str(path)
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="E001",
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = ModuleContext(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        scope=scope_of(path),
+    )
+    suppressions = parse_suppressions(source)
+    found: list[Violation] = []
+    for rule in rules:
+        if not rule.applies(module):
+            continue
+        for violation in rule.check(module):
+            if not suppressions.suppressed(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of linting a set of paths."""
+
+    violations: list[Violation]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations survived suppression."""
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        """Violation tallies per rule id, sorted by rule id."""
+        tally: dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_json(self) -> dict[str, object]:
+        """The stable JSON document emitted by ``--format json``."""
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "line": v.line,
+                    "column": v.col,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def lint_paths(
+    paths: Sequence[Path | str], rules: Sequence[Rule]
+) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``."""
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        source = path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, rules, path=path))
+    return LintReport(violations=violations, files_checked=files)
+
+
+__all__ = [
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "scope_of",
+]

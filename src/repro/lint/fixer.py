@@ -1,0 +1,74 @@
+"""``--fix-suppress``: insert suppression comments for triaged findings.
+
+After a human triages a batch of legacy findings as acceptable (e.g. the
+reporting-only perf counters in the kernel), this helper appends
+``# repro-lint: ignore[RULE]`` comments to each violating line so the
+repo goes back to lint-clean while every waiver stays greppable.  The
+inserted comments end with ``-- triaged`` as a prompt to replace the
+placeholder with an actual justification.
+
+Lines that already carry an ``ignore[...]`` comment get the new rule ids
+merged into the existing bracket instead of a second comment.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.engine import Violation
+
+_EXISTING_RE = re.compile(
+    r"(?P<prefix>#\s*repro-lint:\s*ignore\s*\[)(?P<rules>[A-Za-z0-9*,\s]+)(?P<suffix>\])"
+)
+
+
+def _merge_line(line: str, rules: Sequence[str]) -> str:
+    """Append or merge a suppression comment for ``rules`` into ``line``."""
+    body = line.rstrip("\n")
+    newline = line[len(body):]
+    match = _EXISTING_RE.search(body)
+    if match is not None:
+        existing = [part.strip() for part in match.group("rules").split(",")]
+        merged = sorted(set(existing) | set(rules))
+        body = (
+            body[: match.start()]
+            + match.group("prefix")
+            + ",".join(merged)
+            + match.group("suffix")
+            + body[match.end():]
+        )
+    else:
+        body = f"{body}  # repro-lint: ignore[{','.join(sorted(set(rules)))}] -- triaged"
+    return body + newline
+
+
+def apply_suppressions(violations: Iterable[Violation]) -> dict[str, int]:
+    """Insert suppression comments for ``violations``; returns lines edited per file.
+
+    Violations on the same line are merged into one comment.  Parse errors
+    (rule ``E001``) are never suppressed — they need a real fix.
+    """
+    by_file: dict[str, dict[int, list[str]]] = {}
+    for violation in violations:
+        if violation.rule == "E001":
+            continue
+        by_file.setdefault(violation.path, {}).setdefault(
+            violation.line, []
+        ).append(violation.rule)
+
+    edited: dict[str, int] = {}
+    for path, by_line in sorted(by_file.items()):
+        file_path = Path(path)
+        lines = file_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        for line_number, rules in by_line.items():
+            index = line_number - 1
+            if 0 <= index < len(lines):
+                lines[index] = _merge_line(lines[index], rules)
+        file_path.write_text("".join(lines), encoding="utf-8")
+        edited[path] = len(by_line)
+    return edited
+
+
+__all__ = ["apply_suppressions"]

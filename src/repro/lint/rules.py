@@ -1,0 +1,632 @@
+"""The rule catalog: determinism (D1xx) and simulation invariants (S2xx).
+
+Each rule turns one of this reproduction's correctness contracts into a
+machine-checked property.  The D-class rules guard the bit-exact
+determinism contract established by the golden digest fixtures
+(tests/golden/): the simulation must be a pure function of the
+:class:`~repro.apps.spec.ExperimentSpec`, so nothing on a simulated code
+path may read wall clocks, process-seeded hashes, or unordered
+collections whose order can leak into tie-breaking.  The S-class rules
+guard structural invariants of the simulator and the sweep runner.
+
+DESIGN.md documents every rule with the invariant it guards and the
+paper section it derives from; keep the two lists in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Rule, Violation
+
+#: Wall-clock functions of :mod:`time` that break run reproducibility.
+_WALL_CLOCK_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Wall-clock constructors of :class:`datetime.datetime`.
+_WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Legacy global-state numpy.random functions (the seeded, per-simulator
+#: ``Generator`` streams from ``Simulator.rng`` are the sanctioned API).
+_NUMPY_GLOBAL_RANDOM = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "shuffle",
+        "permutation",
+        "choice",
+        "uniform",
+        "normal",
+        "exponential",
+    }
+)
+
+#: Accumulation helpers exempt from the float-accumulation rule.
+_APPROVED_ACCUMULATORS = frozenset({"fsum", "isum", "kahan_add"})
+
+#: Registry dicts that must be written through their registration API.
+_REGISTRIES = frozenset({"SCHEMES", "WORKLOADS"})
+
+#: ``Simulator`` scheduling methods whose callback lands on the event heap.
+_SCHEDULE_METHODS = frozenset({"schedule", "schedule_at", "schedule_fast"})
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return ".".join(parts)
+    return None
+
+
+def _import_aliases(tree: ast.Module, module_name: str) -> set[str]:
+    """Local names bound to ``import module_name [as alias]``."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module_name:
+                    aliases.add(alias.asname or alias.name)
+                elif alias.name.startswith(module_name + "."):
+                    # ``import time.something`` binds the top-level name.
+                    aliases.add(alias.asname or module_name)
+    return aliases
+
+
+def _from_import_aliases(
+    tree: ast.Module, module_name: str, names: frozenset[str]
+) -> dict[str, str]:
+    """Local alias -> original for ``from module_name import name [as alias]``."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module_name:
+            for alias in node.names:
+                if alias.name in names:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+class WallClockRule(Rule):
+    """D101 — simulated code must never read the wall clock."""
+
+    rule_id = "D101"
+    title = "no wall-clock reads on simulated code paths"
+    rationale = (
+        "Simulation time is Simulator.now (integer nanoseconds); a wall-clock "
+        "read that influences results makes runs non-reproducible.  Reporting-"
+        "only timing (perf counters) must be suppressed with a justification."
+    )
+    paper_ref = "repo determinism contract (tests/golden/)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        tree = module.tree
+        time_aliases = _import_aliases(tree, "time")
+        time_direct = _from_import_aliases(tree, "time", _WALL_CLOCK_TIME_FUNCS)
+        datetime_mods = _import_aliases(tree, "datetime")
+        datetime_classes = set(
+            _from_import_aliases(tree, "datetime", frozenset({"datetime", "date"}))
+        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in time_direct:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock call time.{time_direct[func.id]}() on a "
+                    "simulated code path; use Simulator.now (suppress with a "
+                    "reason if this is reporting-only timing)",
+                )
+                continue
+            dotted = _dotted_name(func) if isinstance(func, ast.Attribute) else None
+            if dotted is None:
+                continue
+            head, _, tail = dotted.partition(".")
+            if head in time_aliases and tail in _WALL_CLOCK_TIME_FUNCS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock call {dotted}() on a simulated code path; "
+                    "use Simulator.now (suppress with a reason if this is "
+                    "reporting-only timing)",
+                )
+                continue
+            last = dotted.rsplit(".", 1)[-1]
+            if last in _WALL_CLOCK_DATETIME_FUNCS and (
+                head in datetime_mods or head in datetime_classes
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock call {dotted}() on a simulated code path; "
+                    "derive timestamps from Simulator.now",
+                )
+
+
+class RandomModuleRule(Rule):
+    """D102 — randomness must come from named, seeded simulator streams."""
+
+    rule_id = "D102"
+    title = "no random module / numpy global random state"
+    rationale = (
+        "All stochastic draws must come from Simulator.rng(name) substreams "
+        "so adding a component never perturbs existing draws; the stdlib "
+        "random module and numpy's global state are unseeded ambient state."
+    )
+    paper_ref = "repo determinism contract; paper §4 (deterministic mechanism)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        tree = module.tree
+        numpy_aliases = _import_aliases(tree, "numpy")
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "import of the stdlib random module; draw from "
+                            "Simulator.rng(<stream>) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        module,
+                        node,
+                        "import from the stdlib random module; draw from "
+                        "Simulator.rng(<stream>) instead",
+                    )
+                elif node.module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        "import of numpy.random global state; draw from "
+                        "Simulator.rng(<stream>) instead",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is None or "." not in dotted:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in numpy_aliases
+                    and parts[1] == "random"
+                    and parts[2] in _NUMPY_GLOBAL_RANDOM
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{dotted}() uses numpy's global random state; draw "
+                        "from Simulator.rng(<stream>) instead",
+                    )
+
+
+class UnstableHashRule(Rule):
+    """D103 — no process-dependent id()/hash() on simulated code paths."""
+
+    rule_id = "D103"
+    title = "no builtin id() / hash() calls"
+    rationale = (
+        "hash() of a str is randomized per process (PYTHONHASHSEED) and id() "
+        "is an allocation address; either reaching a forwarding or "
+        "tie-breaking decision makes runs differ between processes.  Use "
+        "repro.net.hashing.stable_hash, which emulates the ASIC's packed-"
+        "header hashing."
+    )
+    paper_ref = "paper §3.4 (flowlet hashing), §5.2.3"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        tree = module.tree
+        shadowed = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        shadowed.add(target.id)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"id", "hash"}
+                and node.func.id not in shadowed
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"builtin {node.func.id}() is process-dependent; use "
+                    "repro.net.hashing.stable_hash for anything that reaches "
+                    "forwarding or tie-breaking",
+                )
+
+
+class UnorderedIterationRule(Rule):
+    """D104 — no iteration over sets or unsorted dict views in hot packages."""
+
+    rule_id = "D104"
+    title = "no set / unsorted dict-view iteration in sim, switch, lb, core"
+    scopes = ("core", "lb", "sim", "switch")
+    rationale = (
+        "dict insertion order depends on event interleaving and set order on "
+        "key hashes; when such an order reaches path selection, RNG draws, "
+        "or packet emission it silently drifts as code evolves (the CONGA "
+        "congestion-table bookkeeping is exactly such state).  Iterate "
+        "sorted(...) views instead."
+    )
+    paper_ref = "paper §3.3 (congestion tables), §5.2.3 (path selection)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                message = self._diagnose(expr)
+                if message is not None:
+                    yield self.violation(module, expr, message)
+
+    @staticmethod
+    def _diagnose(expr: ast.expr) -> str | None:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return (
+                "iteration over a set literal/comprehension; order follows "
+                "key hashes — iterate sorted(...) instead"
+            )
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return (
+                    f"iteration over {func.id}(...); order follows key "
+                    "hashes — iterate sorted(...) instead"
+                )
+            if isinstance(func, ast.Attribute) and func.attr in {
+                "keys",
+                "values",
+                "items",
+            }:
+                return (
+                    f"iteration over an unsorted .{func.attr}() view; "
+                    "insertion order can depend on event interleaving — "
+                    "wrap in sorted(...)"
+                )
+        return None
+
+
+class FloatAccumulationRule(Rule):
+    """D105 — no bare float += accumulation in loops of DRE/flowlet code."""
+
+    rule_id = "D105"
+    title = "no unguarded += accumulation inside loops in core/"
+    scopes = ("core",)
+    rationale = (
+        "Repeated float += in a loop accumulates rounding error whose "
+        "magnitude depends on iteration order; the DRE register update rule "
+        "must stay bit-exact (the decay table is asserted bit-identical to "
+        "the closed form).  Accumulate integers, use math.fsum, or an "
+        "approved compensated helper."
+    )
+    paper_ref = "paper §3.2 (DRE update rule X += bytes; X ← X·(1−α))"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        yield from self._walk(module, module.tree, loop_depth=0)
+
+    def _walk(
+        self, module: ModuleContext, node: ast.AST, loop_depth: int
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_depth = loop_depth
+            if isinstance(child, (ast.For, ast.AsyncFor, ast.While)):
+                child_depth += 1
+            elif isinstance(child, ast.AugAssign) and loop_depth > 0:
+                if isinstance(child.op, (ast.Add, ast.Sub)) and not self._exempt(
+                    child.value
+                ):
+                    yield self.violation(
+                        module,
+                        child,
+                        "+= accumulation inside a loop body; rounding error "
+                        "depends on iteration order — accumulate integers, "
+                        "use math.fsum, or an approved helper",
+                    )
+            yield from self._walk(module, child, child_depth)
+
+    @staticmethod
+    def _exempt(value: ast.expr) -> bool:
+        if isinstance(value, ast.Constant) and type(value.value) is int:
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in _APPROVED_ACCUMULATORS or name == "len"
+        return False
+
+
+class ScheduleCallbackRule(Rule):
+    """S201 — event callbacks must be bound methods or module functions."""
+
+    rule_id = "S201"
+    title = "no lambda / nested-function callbacks on the event heap"
+    rationale = (
+        "run_sweep executes specs in worker processes; components whose "
+        "constructors park lambdas or closures on the event heap cannot be "
+        "pickled, and closures capture mutable state that silently diverges "
+        "between a cancelled and a re-armed event.  Pass a bound method or "
+        "module-level function (plus the arg slot for data)."
+    )
+    paper_ref = "repo sweep-runner contract (repro.runner.run_sweep)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        toplevel = {
+            node.name
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        yield from self._walk(module, module.tree, toplevel, nested=frozenset())
+
+    def _walk(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        toplevel: set[str],
+        nested: frozenset[str],
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            child_nested = nested
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = {
+                    stmt.name
+                    for stmt in ast.walk(child)
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and stmt is not child
+                }
+                child_nested = nested | frozenset(inner)
+            elif isinstance(child, ast.Call):
+                callback = self._callback_arg(child)
+                if isinstance(callback, ast.Lambda):
+                    yield self.violation(
+                        module,
+                        callback,
+                        "lambda scheduled on the event heap; pass a bound "
+                        "method or module-level function (use the arg slot "
+                        "for data) so the component stays picklable",
+                    )
+                elif (
+                    isinstance(callback, ast.Name)
+                    and callback.id in nested
+                    and callback.id not in toplevel
+                ):
+                    yield self.violation(
+                        module,
+                        callback,
+                        f"nested function {callback.id!r} scheduled on the "
+                        "event heap; closures are unpicklable — use a bound "
+                        "method or module-level function",
+                    )
+            yield from self._walk(module, child, toplevel, child_nested)
+
+    @staticmethod
+    def _callback_arg(call: ast.Call) -> ast.expr | None:
+        func = call.func
+        index: int | None = None
+        if isinstance(func, ast.Attribute) and func.attr in _SCHEDULE_METHODS:
+            index = 1
+        elif isinstance(func, ast.Name) and func.id == "Timer":
+            index = 1
+        elif isinstance(func, ast.Name) and func.id == "PeriodicTimer":
+            index = 2
+        if index is None:
+            return None
+        for keyword in call.keywords:
+            if keyword.arg == "callback":
+                return keyword.value
+        if len(call.args) > index:
+            return call.args[index]
+        return None
+
+
+class FrozenSpecRule(Rule):
+    """S202 — experiment spec dataclasses stay frozen and hashable."""
+
+    rule_id = "S202"
+    title = "spec dataclasses must be frozen with immutable fields"
+    rationale = (
+        "ExperimentSpec is the cache key of the sweep runner: its content "
+        "hash addresses the on-disk result cache and its fields cross "
+        "process boundaries.  A mutable or unfrozen field silently decouples "
+        "a cached result from what actually ran."
+    )
+    paper_ref = "repo sweep-runner contract (spec.content_hash)"
+
+    _MUTABLE_NAMES = frozenset(
+        {"list", "dict", "set", "List", "Dict", "Set", "bytearray"}
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (node.name.endswith("Spec") or node.name == "PointResult"):
+                continue
+            decorator = self._dataclass_decorator(node)
+            if decorator is None:
+                continue
+            if not self._is_frozen(decorator):
+                yield self.violation(
+                    module,
+                    node,
+                    f"spec dataclass {node.name} must be declared "
+                    "@dataclass(frozen=True) so it stays hashable and its "
+                    "content hash cannot rot",
+                )
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and self._mutable_annotation(
+                    stmt.annotation
+                ):
+                    yield self.violation(
+                        module,
+                        stmt,
+                        f"field of spec dataclass {node.name} is annotated "
+                        "with a mutable container; use tuple / frozen "
+                        "dataclasses so the spec stays hashable",
+                    )
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted_name(target)
+            if dotted in {"dataclass", "dataclasses.dataclass"}:
+                return decorator
+        return None
+
+    @staticmethod
+    def _is_frozen(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+    def _mutable_annotation(self, annotation: ast.expr) -> bool:
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id in self._MUTABLE_NAMES:
+                return True
+        return False
+
+
+class RegistryWriteRule(Rule):
+    """S203 — schemes/workloads register through the registration API."""
+
+    rule_id = "S203"
+    title = "no direct writes to the SCHEMES / WORKLOADS registries"
+    rationale = (
+        "register_scheme validates name collisions and keeps the registry "
+        "the single source of scheme identity that ExperimentSpec resolves "
+        "by name across processes; raw dict writes bypass both."
+    )
+    paper_ref = "repo scheme registry (repro.apps.register_scheme)"
+
+    _MUTATORS = frozenset(
+        {"update", "setdefault", "pop", "popitem", "clear", "__setitem__"}
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    name = self._registry_subscript(target)
+                    if name is not None:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"direct write to the {name} registry; go through "
+                            "register_scheme(SchemeSpec(...)) (or the "
+                            "workload registration helper) instead",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self._MUTATORS:
+                    base = _dotted_name(node.func.value)
+                    if base is not None and base.rsplit(".", 1)[-1] in _REGISTRIES:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"{base}.{node.func.attr}(...) mutates a registry "
+                            "directly; go through register_scheme instead",
+                        )
+
+    @staticmethod
+    def _registry_subscript(target: ast.expr) -> str | None:
+        if isinstance(target, ast.Subscript):
+            base = _dotted_name(target.value)
+            if base is not None:
+                name = base.rsplit(".", 1)[-1]
+                if name in _REGISTRIES:
+                    return name
+        return None
+
+
+#: Every shipped rule, in catalog order.
+ALL_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    RandomModuleRule(),
+    UnstableHashRule(),
+    UnorderedIterationRule(),
+    FloatAccumulationRule(),
+    ScheduleCallbackRule(),
+    FrozenSpecRule(),
+    RegistryWriteRule(),
+)
+
+
+class UnknownRuleError(ValueError):
+    """Raised when ``--select`` names a rule id that does not exist."""
+
+
+def get_rules(select: str | None = None) -> tuple[Rule, ...]:
+    """The rule set to run; ``select`` is a comma-separated id list."""
+    if select is None:
+        return ALL_RULES
+    wanted = [part.strip() for part in select.split(",") if part.strip()]
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    missing = [rule_id for rule_id in wanted if rule_id not in by_id]
+    if missing:
+        known = ", ".join(sorted(by_id))
+        raise UnknownRuleError(
+            f"unknown rule id(s) {', '.join(missing)}; known rules: {known}"
+        )
+    return tuple(by_id[rule_id] for rule_id in wanted)
+
+
+__all__ = [
+    "ALL_RULES",
+    "FloatAccumulationRule",
+    "FrozenSpecRule",
+    "RandomModuleRule",
+    "RegistryWriteRule",
+    "ScheduleCallbackRule",
+    "UnknownRuleError",
+    "UnorderedIterationRule",
+    "UnstableHashRule",
+    "WallClockRule",
+    "get_rules",
+]

@@ -178,7 +178,7 @@ def run_sweep(
         cache = ResultCache(cache)
     if workers is None:
         workers = os.cpu_count() or 1
-    started = perf_counter()
+    started = perf_counter()  # repro-lint: ignore[D101] -- sweep wall time, reporting only
     total = len(specs)
 
     results: list[PointResult | None] = [None] * total
@@ -231,7 +231,7 @@ def run_sweep(
         points=tuple(results),  # type: ignore[arg-type]
         executed=executed,
         cached=total - executed - len(duplicates),
-        wall_seconds=perf_counter() - started,
+        wall_seconds=perf_counter() - started,  # repro-lint: ignore[D101] -- reporting only
     )
 
 

@@ -31,13 +31,18 @@ from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.units import SECOND
 
 Callback = Callable[[], None]
+
+#: Internal callback shape: zero-argument, or one-argument when scheduled
+#: with the ``arg`` fast path.  ``...`` rather than a union so call sites
+#: that dispatch on ``arg is None`` type-check under strict mypy.
+_AnyCallback = Callable[..., None]
 
 
 class SimulationError(RuntimeError):
@@ -56,7 +61,7 @@ class _Event:
     __slots__ = ("time", "sequence", "callback", "arg", "cancelled")
 
     def __init__(
-        self, time: int, sequence: int, callback: Callback, arg=None
+        self, time: int, sequence: int, callback: _AnyCallback, arg: Any = None
     ) -> None:
         self.time = time
         self.sequence = sequence
@@ -93,7 +98,7 @@ class Simulator:
         # Entries are (time, sequence, event) for cancellable events and
         # (time, sequence, None, callback, arg) for the no-handle fast path;
         # (time, sequence) is unique so comparisons never reach index 2.
-        self._heap: list[tuple] = []
+        self._heap: list[tuple[Any, ...]] = []
         self._now = 0
         self._sequence = 0
         self._seed = seed
@@ -144,7 +149,7 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
 
-    def schedule(self, delay: int, callback: Callback, arg=None) -> _Event:
+    def schedule(self, delay: int, callback: _AnyCallback, arg: Any = None) -> _Event:
         """Schedule ``callback`` to run ``delay`` ticks from now.
 
         When ``arg`` is not None the callback is invoked as ``callback(arg)``
@@ -165,7 +170,7 @@ class Simulator:
         heapq.heappush(heap, (time, sequence, event))
         return event
 
-    def schedule_at(self, time: int, callback: Callback, arg=None) -> _Event:
+    def schedule_at(self, time: int, callback: _AnyCallback, arg: Any = None) -> _Event:
         """Schedule ``callback`` to run at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(
@@ -173,7 +178,7 @@ class Simulator:
             )
         return self.schedule(time - self._now, callback, arg)
 
-    def schedule_fast(self, delay: int, callback, arg) -> None:
+    def schedule_fast(self, delay: int, callback: Callable[[Any], None], arg: Any) -> None:
         """Schedule a *non-cancellable* ``callback(arg)`` with no handle.
 
         The per-packet path schedules two events per hop, none of which is
@@ -233,7 +238,7 @@ class Simulator:
         executed = 0
         heap = self._heap
         pop = heapq.heappop
-        started = perf_counter()
+        started = perf_counter()  # repro-lint: ignore[D101] -- feeds wall_seconds, reporting only
         try:
             while heap and not self._stopped:
                 entry = heap[0]
@@ -260,7 +265,7 @@ class Simulator:
                     break
         finally:
             self.events_executed += executed
-            self.wall_seconds += perf_counter() - started
+            self.wall_seconds += perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
         if until is not None and not heap and self._now < until:
             self._now = until
         return self._now
@@ -370,6 +375,7 @@ class Timer:
             return
         sim = self._sim
         event = self._event
+        assert event is not None  # invariant: a deadline implies a queued entry
         sequence = self._seq
         if deadline > sim._now or sequence != event.sequence:
             # The soft deadline moved while we were queued: re-arm at the

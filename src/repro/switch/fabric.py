@@ -53,7 +53,7 @@ class Fabric:
 
     def hosts_under(self, leaf_id: int) -> list[int]:
         """All host ids attached to ``leaf_id``."""
-        return [h for h, leaf in self._host_leaf.items() if leaf == leaf_id]
+        return [h for h, leaf in sorted(self._host_leaf.items()) if leaf == leaf_id]
 
     def finalize(self, selector_factory: "SelectorFactory") -> None:
         """Finish construction: instantiate each leaf's TEP and selector."""

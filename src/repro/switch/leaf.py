@@ -21,6 +21,7 @@ from repro.net.port import Port
 from repro.overlay.vxlan import TunnelEndpoint
 
 if TYPE_CHECKING:
+    from repro.core.tables import CongestionFromLeafTable, CongestionToLeafTable
     from repro.lb.base import SelectorFactory, UplinkSelector
     from repro.sim import Simulator
     from repro.switch.fabric import Fabric
@@ -171,13 +172,13 @@ class LeafSwitch(Node):
         return self.uplink_dres[uplink].metric()
 
     @property
-    def to_leaf_table(self):
+    def to_leaf_table(self) -> "CongestionToLeafTable":
         """The Congestion-To-Leaf table (valid after :meth:`finalize`)."""
         assert self.tep is not None, "leaf not finalized"
         return self.tep.to_leaf_table
 
     @property
-    def from_leaf_table(self):
+    def from_leaf_table(self) -> "CongestionFromLeafTable":
         """The Congestion-From-Leaf table (valid after :meth:`finalize`)."""
         assert self.tep is not None, "leaf not finalized"
         return self.tep.from_leaf_table
