@@ -17,6 +17,7 @@ import numpy as np
 from conftest import report
 
 from repro.apps import ExperimentSpec, QueueMonitorSpec
+from repro.faults import LinkDown
 from repro.runner import run_sweep, sweep_grid
 
 LOADS = [0.3, 0.5, 0.7]
@@ -24,6 +25,11 @@ SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
 
 # The surviving Spine1->Leaf1 downlink is the hotspot the paper samples.
 HOTSPOT = QueueMonitorSpec(tier="spine", direction="down", spine=1, leaf=1)
+
+# The failure scenario goes through the fault plane: one Leaf1-Spine1 link
+# down from t=0 (an initial condition, same event stream as the old
+# pre-run fail_link call, but declarative / sweepable / cacheable).
+FAULTS = (LinkDown(time=0, leaf=1, spine=1, which=0),)
 
 
 def _specs():
@@ -40,7 +46,7 @@ def _specs():
             size_scale=scale,
             seed=31,
             clients=range(8, 16),
-            failed_links=[(1, 1, 0)],
+            faults=FAULTS,
         )
         specs.extend(sweep_grid(template, schemes=SCHEMES, loads=LOADS))
     queue_template = ExperimentSpec(
@@ -51,7 +57,7 @@ def _specs():
         size_scale=0.05,
         seed=7,
         clients=range(8, 16),
-        failed_links=[(1, 1, 0)],
+        faults=FAULTS,
         queue_monitor=HOTSPOT,
     )
     specs.extend(sweep_grid(queue_template, schemes=SCHEMES))

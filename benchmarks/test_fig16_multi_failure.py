@@ -8,70 +8,65 @@ ECMP spreads load equally on the local leaf uplinks but cannot react to the
 downstream asymmetry — queues there are ~10× larger with ECMP.
 
 Scaled: same 6×4 fabric with 3 links per pair (72 fabric links) at 5 Gbps,
-4 hosts per leaf, the same 9 random failures for both schemes.
+4 hosts per leaf, the same 9 random failures for both schemes — injected
+declaratively through the fault plane (``RandomLinkDowns`` at t=0, drawn
+from the spec seed's named RNG stream, identical for every scheme).
 """
 
 import numpy as np
 from conftest import report
 
-from repro.analysis import QueueMonitor
-from repro.apps import get_scheme
-from repro.apps.traffic import CrossRackTraffic
-from repro.sim import Simulator
-from repro.topology import build_leaf_spine, fail_random_links, scaled_testbed
-from repro.transport import TcpParams
-from repro.units import seconds
-from repro.workloads import WEB_SEARCH
+from repro.apps import ExperimentSpec, QueueMonitorSpec
+from repro.faults import RandomLinkDowns
+from repro.runner import run_sweep, sweep_grid
+from repro.topology import scaled_testbed
+
+FABRIC_6X4 = scaled_testbed(
+    hosts_per_leaf=4,
+    num_leaves=6,
+    num_spines=4,
+    links_per_pair=3,
+    host_gbps=10.0,
+    fabric_gbps=5.0,
+)
+
+TEMPLATE = ExperimentSpec(
+    scheme="ecmp",
+    workload="web-search",
+    load=0.6,
+    seed=77,
+    num_flows=400,
+    size_scale=0.1,
+    config=FABRIC_6X4,
+    faults=(RandomLinkDowns(time=0, count=9),),
+    queue_monitor=QueueMonitorSpec(tier="fabric", direction="both"),
+)
 
 
-def _run_scheme(scheme: str):
-    sim = Simulator(seed=77)
-    config = scaled_testbed(
-        hosts_per_leaf=4,
-        num_leaves=6,
-        num_spines=4,
-        links_per_pair=3,
-        host_gbps=10.0,
-        fabric_gbps=5.0,
-    )
-    fabric = build_leaf_spine(sim, config)
-    spec = get_scheme(scheme)
-    fabric.finalize(spec.make_selector())
-    fail_random_links(fabric, 9)
-    monitor = QueueMonitor(sim, list(fabric.fabric_ports()))
-    monitor.start()
-    traffic = CrossRackTraffic(
-        sim,
-        fabric,
-        WEB_SEARCH,
-        0.6,
-        flow_factory=spec.make_flow_factory(TcpParams()),
-        num_flows=400,
-        size_scale=0.1,
-        on_all_done=sim.stop,
-    )
-    traffic.start()
-    sim.run(until=seconds(20))
-    monitor.stop()
-    leaf_uplink_avg = [
-        monitor.mean(port) for port in fabric.leaf_uplink_ports()
-    ]
-    spine_downlink_avg = [
-        monitor.mean(port) for port in fabric.spine_ports()
-    ]
-    return {
-        "completed": traffic.stats.completed,
-        "arrivals": traffic.stats.arrivals,
-        "mean_fct": float(
-            np.mean([r.normalized_fct for r in traffic.stats.records])
-        ),
-        "leaf_uplink_avg_q": leaf_uplink_avg,
-        "spine_downlink_avg_q": spine_downlink_avg,
-    }
+def _classify(queue_series):
+    """Split the monitored (surviving) fabric ports into the paper's views."""
+    leaf_up = [n for n in queue_series.port_names if ".up" in n]
+    spine_down = [n for n in queue_series.port_names if n.startswith("spine")]
+    return leaf_up, spine_down
 
 
 def _run():
-    return {scheme: _run_scheme(scheme) for scheme in ("ecmp", "conga")}
+    sweep = run_sweep(sweep_grid(TEMPLATE, schemes=["ecmp", "conga"]), cache=None)
+    results = {}
+    for point in sweep:
+        leaf_up, spine_down = _classify(point.queue_series)
+        results[point.scheme] = {
+            "completed": point.completed,
+            "arrivals": point.arrivals,
+            "mean_fct": point.summary.mean_normalized,
+            "leaf_uplink_avg_q": [
+                point.queue_series.mean(name) for name in leaf_up
+            ],
+            "spine_downlink_avg_q": [
+                point.queue_series.mean(name) for name in spine_down
+            ],
+        }
+    return results
 
 
 def test_figure16_multiple_failures(benchmark):

@@ -1,5 +1,6 @@
 """Evaluation metrics: FCT statistics, throughput imbalance, queue monitors."""
 
+from repro.analysis.degradation import DegradationSummary
 from repro.analysis.fct import (
     FctSummary,
     LARGE_FLOW_BYTES,
@@ -20,6 +21,7 @@ from repro.analysis.report import (
 )
 
 __all__ = [
+    "DegradationSummary",
     "FctSummary",
     "ImbalanceSeries",
     "LARGE_FLOW_BYTES",

@@ -1,0 +1,131 @@
+"""Degradation metrics for fault-injection runs (Figs. 11/16 territory).
+
+The paper's resilience story is about what happens *while* the fabric is
+degraded and how fast things normalize afterwards.  This module turns a
+run's flow records plus the fault window (from
+:func:`repro.faults.fault_window`) into those numbers:
+
+* application goodput (completed bytes per second) before, during, and
+  after the degraded window;
+* post-restore recovery time — how long after the window closes it takes
+  binned goodput to climb back to a fraction of the pre-fault level;
+* the sender-side loss-recovery counters (retransmits, RTO timeouts)
+  accumulated by the run.
+
+Goodput attributes each flow's bytes to its completion instant
+(``start_time + fct``), matching how an application measures "requests
+finished per second".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.transport.tcp import FlowRecord
+from repro.units import milliseconds
+
+
+def _phase_goodput(
+    completions: Sequence[tuple[int, int]], start: int, end: int
+) -> float:
+    """Goodput in bits/sec of flows completing in ``[start, end)``."""
+    duration = end - start
+    if duration <= 0:
+        return 0.0
+    total = sum(size for when, size in completions if start <= when < end)
+    return total * 8e9 / duration
+
+
+@dataclass(frozen=True)
+class DegradationSummary:
+    """How one run behaved across its fault window.
+
+    ``window_end`` of ``None`` means the degradation persisted to the end
+    of the run (no restoring event), in which case ``goodput_after_bps``
+    is 0 and ``recovery_time`` is ``None``.  ``recovery_time`` is also
+    ``None`` when binned goodput never re-reached the threshold before the
+    run ended.
+    """
+
+    window_start: int
+    window_end: int | None
+    end_time: int
+    goodput_before_bps: float
+    goodput_during_bps: float
+    goodput_after_bps: float
+    recovery_time: int | None
+    retransmissions: int
+    timeouts: int
+
+    @staticmethod
+    def from_records(
+        records: Sequence[FlowRecord],
+        *,
+        window_start: int,
+        window_end: int | None,
+        end_time: int,
+        retransmissions: int = 0,
+        timeouts: int = 0,
+        bin_width: int = milliseconds(1),
+        recovery_fraction: float = 0.9,
+    ) -> "DegradationSummary":
+        """Compute the degradation view of one run's completions.
+
+        ``recovery_time`` is measured from ``window_end`` to the end of
+        the first ``bin_width`` bin whose goodput reaches
+        ``recovery_fraction`` of the pre-fault (before-window) goodput.
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if not 0.0 < recovery_fraction <= 1.0:
+            raise ValueError(
+                f"recovery_fraction must be in (0, 1], got {recovery_fraction}"
+            )
+        completions = [(r.start_time + r.fct, r.size) for r in records]
+        during_end = window_end if window_end is not None else end_time
+        before = _phase_goodput(completions, 0, window_start)
+        during = _phase_goodput(completions, window_start, during_end)
+        after = (
+            _phase_goodput(completions, window_end, end_time)
+            if window_end is not None
+            else 0.0
+        )
+
+        recovery: int | None = None
+        if window_end is not None and before > 0.0:
+            threshold = recovery_fraction * before
+            edge = window_end
+            while edge < end_time:
+                bin_end = min(edge + bin_width, end_time)
+                if _phase_goodput(completions, edge, bin_end) >= threshold:
+                    recovery = bin_end - window_end
+                    break
+                edge = bin_end
+
+        return DegradationSummary(
+            window_start=window_start,
+            window_end=window_end,
+            end_time=end_time,
+            goodput_before_bps=before,
+            goodput_during_bps=during,
+            goodput_after_bps=after,
+            recovery_time=recovery,
+            retransmissions=retransmissions,
+            timeouts=timeouts,
+        )
+
+    @property
+    def goodput_retained(self) -> float:
+        """In-window goodput as a fraction of pre-fault goodput.
+
+        The single-number "graceful degradation" score: 1.0 means the
+        fault was invisible to applications; NaN when there was no
+        pre-fault phase to compare against.
+        """
+        if self.goodput_before_bps <= 0.0:
+            return float("nan")
+        return self.goodput_during_bps / self.goodput_before_bps
+
+
+__all__ = ["DegradationSummary"]

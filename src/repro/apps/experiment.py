@@ -40,6 +40,8 @@ from repro.lb import (
     LocalAwareSelector,
     PacketSpraySelector,
 )
+from repro.faults.events import FaultEvent
+from repro.faults.injector import FaultInjector
 from repro.lb.base import SelectorFactory
 from repro.sim import Simulator
 from repro.switch.fabric import Fabric
@@ -143,6 +145,13 @@ class ExperimentResult:
     fabric: Fabric
     imbalance: ThroughputImbalanceMonitor | None = None
     queues: QueueMonitor | None = None
+    #: The fault injector driving this run's fault schedule (None when the
+    #: spec had no faults); ``injector.applied`` logs what fired and when.
+    injector: FaultInjector | None = None
+    #: Sender-side loss-recovery totals over completed flows — the
+    #: degradation counters the fault-plane analysis reports.
+    retransmissions: int = 0
+    timeouts: int = 0
     _summary: FctSummary | None = field(default=None, repr=False)
 
     @property
@@ -175,6 +184,7 @@ def execute_experiment(
     clients: list[int] | None = None,
     tcp_params: TcpParams = TcpParams(),
     failed_links: list[tuple[int, int, int]] | None = None,
+    faults: tuple[FaultEvent, ...] = (),
     monitor_imbalance_leaf: int | None = None,
     imbalance_interval: int | None = None,
     monitor_queue_ports: Callable[[Fabric], list] | None = None,
@@ -189,9 +199,13 @@ def execute_experiment(
 
     ``failed_links`` is a list of (leaf_id, spine_id, which) tuples failed
     before traffic starts — e.g. ``[(1, 1, 0)]`` reproduces Figure 7(b).
-    ``monitor_imbalance_leaf`` attaches a Fig.-12-style monitor to that
-    leaf's uplinks.  ``monitor_queue_ports`` selects ports for occupancy
-    sampling (Fig. 11c / Fig. 16).
+    ``faults`` is a schedule of :class:`repro.faults.FaultEvent` values: a
+    :class:`~repro.faults.FaultInjector` applies time-0 events here as
+    initial conditions (equivalent to ``failed_links`` for ``LinkDown``)
+    and schedules the rest on the kernel, so degradation can arrive and
+    clear mid-run.  ``monitor_imbalance_leaf`` attaches a Fig.-12-style
+    monitor to that leaf's uplinks.  ``monitor_queue_ports`` selects ports
+    for occupancy sampling (Fig. 11c / Fig. 16).
     """
     if config is None:
         config = scaled_testbed()
@@ -202,6 +216,12 @@ def execute_experiment(
         spec.post_setup(sim, fabric)
     for leaf_id, spine_id, which in failed_links or []:
         fabric.fail_link(leaf_id, spine_id, which)
+    # Construct the injector before monitors attach: time-0 faults are
+    # initial conditions, and declarative monitor specs (which exclude down
+    # ports) must resolve against the already-degraded fabric.  With an
+    # empty schedule nothing is constructed, keeping fault-free runs
+    # event-for-event identical to the pre-fault-plane kernel stream.
+    injector = FaultInjector(sim, fabric, faults) if faults else None
 
     imbalance = None
     if monitor_imbalance_leaf is not None:
@@ -248,6 +268,9 @@ def execute_experiment(
         fabric=fabric,
         imbalance=imbalance,
         queues=queues,
+        injector=injector,
+        retransmissions=traffic.stats.retransmissions,
+        timeouts=traffic.stats.timeouts,
     )
 
 

@@ -29,9 +29,11 @@ from dataclasses import dataclass, field, fields, is_dataclass, replace
 from time import perf_counter
 from typing import TYPE_CHECKING
 
+from repro.analysis.degradation import DegradationSummary
 from repro.analysis.fct import FctSummary
 from repro.analysis.monitors import ImbalanceSeries, QueueSeries
 from repro.apps.experiment import ExperimentResult, execute_experiment, get_scheme
+from repro.faults.events import FaultEvent, fault_window
 from repro.topology.leafspine import LeafSpineConfig
 from repro.transport.tcp import FlowRecord, TcpParams
 from repro.units import milliseconds, seconds
@@ -193,6 +195,9 @@ class ExperimentSpec:
     config: LeafSpineConfig | None = None
     tcp_params: TcpParams = field(default_factory=TcpParams)
     failed_links: tuple[tuple[int, int, int], ...] = ()
+    #: Scheduled fault events (see :mod:`repro.faults`) — part of the spec,
+    #: so fault scenarios sweep, cache, and hash like everything else.
+    faults: tuple[FaultEvent, ...] = ()
     queue_monitor: QueueMonitorSpec | None = None
     imbalance_monitor: ImbalanceMonitorSpec | None = None
     deadline: int = field(default_factory=lambda: seconds(20))
@@ -209,6 +214,13 @@ class ExperimentSpec:
             "failed_links",
             tuple(tuple(link) for link in self.failed_links),
         )
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for event in self.faults:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"faults must be FaultEvent values, got {event!r}; "
+                    "parse CLI strings with repro.faults.parse_fault first"
+                )
 
     # -- identity -----------------------------------------------------------
 
@@ -257,6 +269,7 @@ class ExperimentSpec:
             clients=list(self.clients) if self.clients is not None else None,
             tcp_params=self.tcp_params,
             failed_links=[list(link) for link in self.failed_links],
+            faults=self.faults,
             monitor_imbalance_leaf=(
                 self.imbalance_monitor.leaf if self.imbalance_monitor else None
             ),
@@ -303,6 +316,8 @@ class PointResult:
     wall_seconds: float
     queue_series: QueueSeries | None = None
     imbalance_series: ImbalanceSeries | None = None
+    retransmissions: int = 0
+    timeouts: int = 0
     from_cache: bool = False
 
     @staticmethod
@@ -330,6 +345,8 @@ class PointResult:
             wall_seconds=wall_seconds,
             queue_series=live.queues.snapshot() if live.queues else None,
             imbalance_series=live.imbalance.snapshot() if live.imbalance else None,
+            retransmissions=live.retransmissions,
+            timeouts=live.timeouts,
         )
 
     @property
@@ -358,6 +375,39 @@ class PointResult:
         if self.wall_seconds <= 0.0:
             return 0.0
         return self.events_executed / self.wall_seconds
+
+    def degradation(
+        self,
+        *,
+        bin_width: int | None = None,
+        recovery_fraction: float = 0.9,
+    ) -> DegradationSummary:
+        """Degradation metrics across this point's fault window.
+
+        Brackets the degraded interval with
+        :func:`repro.faults.fault_window` over the spec's fault schedule
+        and summarizes goodput before/during/after plus post-restore
+        recovery time (see :class:`repro.analysis.DegradationSummary`).
+        Raises when the spec has no degrading faults — there is no window
+        to analyze.
+        """
+        window = fault_window(self.spec.faults)
+        if window is None:
+            raise ValueError(
+                f"spec {self.spec.label()!r} has no degrading faults"
+            )
+        start, end = window
+        kwargs = {} if bin_width is None else {"bin_width": bin_width}
+        return DegradationSummary.from_records(
+            self.records,
+            window_start=start,
+            window_end=end,
+            end_time=self.end_time,
+            retransmissions=self.retransmissions,
+            timeouts=self.timeouts,
+            recovery_fraction=recovery_fraction,
+            **kwargs,
+        )
 
 
 __all__ = [

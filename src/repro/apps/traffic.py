@@ -111,16 +111,34 @@ def mptcp_flow_factory(
 
 @dataclass
 class TrafficStats:
-    """Aggregate outcome of a traffic run."""
+    """Aggregate outcome of a traffic run.
+
+    ``retransmissions`` / ``fast_retransmits`` / ``timeouts`` sum the
+    sender-side loss-recovery counters of *completed* flows — the
+    degradation signal the fault-plane analysis reports alongside goodput
+    (flows still in recovery at the deadline show up in ``unfinished``
+    instead).
+    """
 
     records: list[FlowRecord] = field(default_factory=list)
     arrivals: int = 0
     completed: int = 0
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
 
     @property
     def unfinished(self) -> int:
         """Flows that had arrived but did not finish before the deadline."""
         return self.arrivals - self.completed
+
+
+def _flow_senders(flow: Flow):
+    """The TCP sender objects behind ``flow`` (one, or MPTCP's subflows)."""
+    sender = getattr(flow, "sender", None)
+    if sender is not None:
+        return (sender,)
+    return tuple(getattr(flow, "subflows", ()))
 
 
 class CrossRackTraffic:
@@ -244,6 +262,11 @@ class CrossRackTraffic:
         record.fct = flow.fct
         self.stats.records.append(record)
         self.stats.completed += 1
+        for sender in _flow_senders(flow):
+            stats = sender.stats
+            self.stats.retransmissions += stats.retransmissions
+            self.stats.fast_retransmits += stats.fast_retransmits
+            self.stats.timeouts += stats.timeouts
         self._active -= 1
         if self.finished and self.on_all_done is not None:
             self.on_all_done()

@@ -4,7 +4,10 @@ Examples::
 
     conga-repro fct --scheme conga --workload data-mining --load 0.6
     conga-repro fct --scheme ecmp --load 0.6 --fail-link 1,1,0
+    conga-repro fct --scheme conga --fault link_down@0.1s:l1-s1 \\
+        --fault link_up@1.5s:l1-s1
     conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
+    conga-repro sweep --schemes ecmp,conga --fault random_downs@0=9
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
     conga-repro bench --quick
     conga-repro lint src --format json
@@ -30,8 +33,15 @@ def _parse_failed_links(values: list[str] | None) -> list[tuple[int, int, int]]:
     return failed
 
 
+def _parse_faults(values: list[str] | None) -> tuple:
+    from repro.faults import parse_fault
+
+    return tuple(parse_fault(text) for text in values or [])
+
+
 def _cmd_fct(args: argparse.Namespace) -> int:
     from repro.apps import ExperimentSpec
+    from repro.faults import fault_window
 
     spec = ExperimentSpec(
         scheme=args.scheme,
@@ -41,6 +51,7 @@ def _cmd_fct(args: argparse.Namespace) -> int:
         size_scale=args.size_scale,
         seed=args.seed,
         failed_links=_parse_failed_links(args.fail_link),
+        faults=_parse_faults(args.fault),
     )
     result = spec.run()
     summary = result.summary
@@ -56,6 +67,17 @@ def _cmd_fct(args: argparse.Namespace) -> int:
         print(f"  large flows (>10MB):    {summary.count_large} "
               f"(mean FCT {to_milliseconds(round(summary.mean_fct_large)):.3f} ms)")
     print(f"  fabric drops:           {result.fabric_drops}")
+    if spec.faults:
+        print(f"  faults injected:        {len(spec.faults)} "
+              f"(retransmits {result.retransmissions}, "
+              f"RTO timeouts {result.timeouts})")
+        if fault_window(spec.faults) is not None:
+            deg = result.degradation()
+            print(f"  goodput retained:       {deg.goodput_retained:.2f} "
+                  f"of pre-fault level during the degraded window")
+            if deg.recovery_time is not None:
+                print(f"  recovery time:          "
+                      f"{to_milliseconds(deg.recovery_time):.3f} ms after restore")
     print(f"  simulator:              {result.events_executed} events, "
           f"{result.events_per_sec / 1e3:.0f}k events/sec")
     return 0
@@ -64,7 +86,7 @@ def _cmd_fct(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import print_table
     from repro.apps import ExperimentSpec, UnknownSchemeError, get_scheme
-    from repro.runner import run_sweep, sweep_grid
+    from repro.runner import PointFailure, run_sweep, sweep_grid
 
     schemes = [s.strip() for s in args.schemes.split(",")]
     try:
@@ -80,6 +102,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         load=0.6,
         num_flows=args.flows,
         size_scale=args.size_scale,
+        faults=_parse_faults(args.fault),
     )
     specs = sweep_grid(
         template,
@@ -92,19 +115,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=None if args.no_cache else args.cache_dir,
         progress=print if args.verbose else None,
+        timeout=args.timeout,
+        retries=args.retries,
     )
-    rows = [
-        (
-            p.scheme,
-            p.load,
-            p.spec.seed,
-            p.summary.mean_normalized if p.summary else float("nan"),
-            p.summary.p99_normalized if p.summary else float("nan"),
-            f"{p.completed}/{p.arrivals}",
-            "cache" if p.from_cache else "run",
+    rows = []
+    for p in sweep:
+        if isinstance(p, PointFailure):
+            rows.append(
+                (p.scheme, p.load, p.spec.seed, float("nan"), float("nan"),
+                 f"FAILED:{p.kind}", "fail")
+            )
+            continue
+        rows.append(
+            (
+                p.scheme,
+                p.load,
+                p.spec.seed,
+                p.summary.mean_normalized if p.summary else float("nan"),
+                p.summary.p99_normalized if p.summary else float("nan"),
+                f"{p.completed}/{p.arrivals}",
+                "cache" if p.from_cache else "run",
+            )
         )
-        for p in sweep
-    ]
     print_table(
         f"sweep: {args.workload}, {args.flows} flows/point",
         ["scheme", "load", "seed", "mean FCT", "p99 FCT", "done", "source"],
@@ -115,7 +147,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({sweep.executed} executed, {sweep.cached} cached, "
         f"{sweep.events_executed} simulator events)"
     )
-    return 0
+    for failure in sweep.failures:
+        print(
+            f"FAILED {failure.spec.label()}: {failure.kind} "
+            f"after {failure.attempts} attempt(s): {failure.error}",
+            file=sys.stderr,
+        )
+    return 1 if sweep.failures else 0
 
 
 def _cmd_incast(args: argparse.Namespace) -> int:
@@ -215,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     fct.add_argument("--seed", type=int, default=1)
     fct.add_argument("--fail-link", action="append", metavar="LEAF,SPINE,WHICH",
                      help="fail a leaf-spine link (repeatable)")
+    fct.add_argument("--fault", action="append", metavar="FAULT",
+                     help="schedule a fault event, e.g. link_down@0.1s:l0-s1, "
+                          "link_degrade@5ms:l1-s0=0.25, blackout@1ms:spine1+2ms "
+                          "(repeatable; see repro.faults.parse_fault)")
     fct.set_defaults(func=_cmd_fct)
 
     sweep = sub.add_parser(
@@ -236,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="always execute, never read or write the cache")
     sweep.add_argument("--verbose", action="store_true",
                        help="print per-point timing as results arrive")
+    sweep.add_argument("--fault", action="append", metavar="FAULT",
+                       help="schedule a fault event on every point "
+                            "(repeatable; same grammar as fct --fault)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in seconds "
+                            "(parallel modes only)")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="re-executions granted to a failing point "
+                            "(default 1); failures become table rows, "
+                            "not crashes")
     sweep.set_defaults(func=_cmd_sweep)
 
     incast = sub.add_parser("incast", help="run an Incast micro-benchmark")

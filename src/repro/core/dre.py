@@ -104,6 +104,23 @@ class DRE:
         level = int(self.utilization() * self.params.metric_levels)
         return min(level, self.params.max_metric)
 
+    def set_link_rate(self, link_rate_bps: int) -> None:
+        """Retarget the estimator to a new line rate ``C`` (link degradation).
+
+        Pending decay is applied at the old rate first, then the
+        full-register target ``C · τ`` is recomputed, so utilization and the
+        exported metric immediately reflect congestion relative to the
+        *current* capacity — which is how a degraded link shows up as more
+        congested to CONGA while ECMP remains blind to it.
+        """
+        if link_rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {link_rate_bps}")
+        self._apply_decay()
+        self.link_rate_bps = link_rate_bps
+        self._full_register = (
+            link_rate_bps * self.params.dre_time_constant / (8 * 1_000_000_000)
+        )
+
     def reset(self) -> None:
         """Clear the register (used when re-configuring a link)."""
         self._register = 0.0

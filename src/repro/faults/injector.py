@@ -1,0 +1,100 @@
+"""Drives a fault schedule against a live simulation.
+
+The injector is constructed by :func:`repro.apps.execute_experiment` right
+after the fabric is finalized and *before* monitors attach, with the run's
+``faults`` tuple:
+
+* events with ``time == 0`` are applied synchronously at construction —
+  they are initial conditions, so declarative monitors (whose port
+  selection excludes down links) and route caches see the degraded fabric
+  from the first event on;
+* later events are scheduled on the kernel as bound-method + arg-slot
+  events (the S201-clean picklable form), one per fault, and fire in
+  schedule order at equal times.
+
+An empty schedule constructs nothing and touches no RNG stream, so runs
+with ``faults=()`` are event-for-event identical to runs predating the
+fault plane (the golden digests in ``tests/golden/`` pin this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.events import FaultEvent
+
+if TYPE_CHECKING:
+    from repro.net.port import Port
+    from repro.sim import Simulator
+    from repro.switch.fabric import Fabric
+
+
+class FaultInjector:
+    """Applies a tuple of :class:`FaultEvent` values to one fabric."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fabric: "Fabric",
+        faults: tuple[FaultEvent, ...],
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.faults = tuple(faults)
+        #: Log of (simulated time, event) pairs in application order.
+        self.applied: list[tuple[int, FaultEvent]] = []
+        for event in self.faults:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"faults must be FaultEvent instances, got {event!r}"
+                )
+            if event.time <= sim.now:
+                self._apply(event)
+            else:
+                sim.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        event.apply(self)
+        self.applied.append((self.sim.now, event))
+
+    # -- helpers used by event.apply() implementations -----------------------
+
+    def link_port(self, leaf: int, spine: int, which: int) -> "Port":
+        """The leaf-side port of the ``which``-th parallel leaf↔spine link."""
+        ports = self.fabric.uplink_ports(leaf, spine)
+        if which >= len(ports):
+            raise ValueError(
+                f"leaf{leaf}<->spine{spine} has {len(ports)} links, "
+                f"no link {which}"
+            )
+        return ports[which]
+
+    def set_feedback_loss(self, leaf: int | None, probability: float) -> None:
+        """Configure feedback stripping at one leaf's TEP (or all TEPs)."""
+        leaves = (
+            self.fabric.leaves if leaf is None else [self.fabric.leaves[leaf]]
+        )
+        for target in leaves:
+            if target.tep is None:
+                raise ValueError(
+                    f"{target.name} has no TEP; inject faults after finalize()"
+                )
+            rng = None
+            if 0.0 < probability < 1.0:
+                rng = self.sim.rng(f"feedback-loss:leaf{target.leaf_id}")
+            target.tep.set_feedback_loss(probability, rng)
+
+    # -- scheduled restore callbacks (bound method + arg slot, S201-clean) ----
+
+    def _clear_feedback_loss(self, leaf: int | None = None) -> None:
+        # The default matters: the kernel calls arg=None events with *no*
+        # argument, and leaf=None (all leaves) is stored as arg None.
+        self.set_feedback_loss(leaf, 0.0)
+
+    def _restore_switch(self, target: tuple[str, int]) -> None:
+        kind, switch = target
+        for port in self.fabric.switch_ports(kind, switch):
+            port.restore()
+
+
+__all__ = ["FaultInjector"]

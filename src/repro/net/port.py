@@ -9,8 +9,13 @@ propagation delay) to the peer port and is handed to the peer's node via
 
 Link failures (the asymmetry scenarios of Figs. 7(b), 11, 14, 16) are
 injected by :meth:`Port.fail`, which silently discards traffic in both
-directions, exactly like a cut cable.  The per-port ``on_transmit`` hook list
-is where CONGA's DREs attach (§3.2).
+directions, exactly like a cut cable.  Partial degradation — the
+degraded-but-alive scenarios of the fault plane (:mod:`repro.faults`) — is
+driven through :meth:`Port.degrade` (rate brownout, both directions) and
+:meth:`Port.set_loss` (seeded per-packet drop after serialization).  The
+per-port ``on_transmit`` hook list is where CONGA's DREs attach (§3.2);
+switches additionally store the attached estimator on ``port.dre`` so rate
+changes can retarget it.
 """
 
 from __future__ import annotations
@@ -82,6 +87,8 @@ class Port:
         self.node = node
         self.index = index
         self.rate_bps = rate_bps
+        #: The as-built line rate; ``degrade`` scales relative to this.
+        self.nominal_rate_bps = rate_bps
         self.queue = DropTailQueue(queue_capacity, ecn_threshold_bytes=ecn_threshold)
         self.name = name or f"{node.name}[{index}]"
         self.peer: Port | None = None
@@ -93,6 +100,13 @@ class Port:
         self.rx_packets = 0
         self.rx_bytes = 0
         self.busy_time = 0
+        #: Packets dropped by injected per-packet loss (after serialization).
+        self.lost_packets = 0
+        self._loss_probability = 0.0
+        self._loss_rng = None
+        #: The DRE measuring this port's egress, if a switch attached one;
+        #: ``set_rate`` keeps its full-register target in sync.
+        self.dre = None
         #: Callbacks fired with each packet at transmission start (DRE hook).
         self.on_transmit: list[Callable[[Packet], None]] = []
         # Serialization-delay fast path: when the line rate divides 8 Gbit
@@ -131,6 +145,62 @@ class Port:
             self.peer.up = True
         _bump_topology_epoch()
 
+    # -- partial degradation (fault plane) -------------------------------------
+
+    def set_rate(self, rate_bps: int) -> None:
+        """Change this direction's line rate (serialization recomputed).
+
+        Packets already being serialized finish at the old rate; the change
+        takes effect from the next dequeue.  The attached DRE (if any) is
+        retargeted so utilization keeps meaning "fraction of current line
+        rate".
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if rate_bps == self.rate_bps:
+            return
+        self.rate_bps = rate_bps
+        bits_ns = 8 * SECOND
+        self._ns_per_byte = bits_ns // rate_bps if bits_ns % rate_bps == 0 else 0
+        self._serialization_ns = {}
+        if self.dre is not None:
+            self.dre.set_link_rate(rate_bps)
+
+    def degrade(self, fraction: float) -> None:
+        """Scale the link to ``fraction`` of nominal rate, both directions.
+
+        ``fraction=1.0`` restores the nominal rate — a brownout window is a
+        ``degrade(0.25)`` / ``degrade(1.0)`` pair.  The link stays up, so
+        routing still uses it; only CONGA's congestion feedback can see the
+        slowdown.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.set_rate(max(1, round(self.nominal_rate_bps * fraction)))
+        if self.peer is not None:
+            self.peer.set_rate(
+                max(1, round(self.peer.nominal_rate_bps * fraction))
+            )
+
+    def set_loss(self, probability: float, rng=None) -> None:
+        """Drop each transmitted packet with ``probability`` (this direction).
+
+        Drops happen after serialization — the packet occupies the wire,
+        then vanishes (corrupted-frame semantics), so the link still looks
+        busy to the DRE.  ``probability`` strictly between 0 and 1 requires
+        a seeded ``rng`` (a named per-simulator stream) so loss patterns
+        are deterministic; 0 clears the fault and 1 black-holes the link
+        without any draw.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if 0.0 < probability < 1.0 and rng is None:
+            raise ValueError(
+                "probabilistic loss needs a seeded rng (sim.rng(stream))"
+            )
+        self._loss_probability = probability
+        self._loss_rng = rng if 0.0 < probability < 1.0 else None
+
     # -- egress ---------------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
@@ -168,6 +238,13 @@ class Port:
     def _finish(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size
+        if self._loss_probability > 0.0 and (
+            self._loss_probability >= 1.0
+            or self._loss_rng.random() < self._loss_probability
+        ):
+            self.lost_packets += 1
+            self._transmit_next()
+            return
         peer = self.peer
         if peer is not None and self.up:
             self._schedule_fast(self.propagation_delay, peer._arrive_ref, packet)

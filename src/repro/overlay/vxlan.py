@@ -52,6 +52,30 @@ class TunnelEndpoint:
         self.decapsulated = 0
         self.feedback_sent = 0
         self.feedback_received = 0
+        #: Piggybacked feedback pairs discarded by an injected FeedbackLoss
+        #: fault before reaching the Congestion-To-Leaf table.
+        self.feedback_lost = 0
+        self.fb_loss_probability = 0.0
+        self._fb_loss_rng = None
+
+    def set_feedback_loss(self, probability: float, rng=None) -> None:
+        """Discard arriving piggybacked feedback with ``probability``.
+
+        Models a control-plane grey failure (:mod:`repro.faults`): the
+        forward path and its CE measurement keep working, but the reverse
+        feedback channel is lossy, so this leaf's Congestion-To-Leaf
+        entries stop refreshing and age to zero (§3.3).  ``probability``
+        strictly between 0 and 1 requires a seeded ``rng``; 0 clears the
+        fault, 1 drops everything without a draw.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if 0.0 < probability < 1.0 and rng is None:
+            raise ValueError(
+                "probabilistic feedback loss needs a seeded rng"
+            )
+        self.fb_loss_probability = probability
+        self._fb_loss_rng = rng if 0.0 < probability < 1.0 else None
 
     def encapsulate(self, packet: Packet, dst_leaf: int, lbtag: int) -> None:
         """Attach the overlay header for a packet entering the fabric."""
@@ -83,8 +107,16 @@ class TunnelEndpoint:
             )
         self.from_leaf_table.record(header.src_leaf, header.lbtag, header.ce)
         if header.fb_valid:
-            self.to_leaf_table.update(header.src_leaf, header.fb_lbtag, header.fb_metric)
-            self.feedback_received += 1
+            if self.fb_loss_probability > 0.0 and (
+                self.fb_loss_probability >= 1.0
+                or self._fb_loss_rng.random() < self.fb_loss_probability
+            ):
+                self.feedback_lost += 1
+            else:
+                self.to_leaf_table.update(
+                    header.src_leaf, header.fb_lbtag, header.fb_metric
+                )
+                self.feedback_received += 1
         packet.overlay = None
         packet.size -= VXLAN_OVERHEAD
         self.decapsulated += 1

@@ -9,10 +9,13 @@ on-disk :class:`ResultCache` on repeat runs.
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.failures import FAILURE_KINDS, PointFailure
 from repro.runner.sweep import SweepResult, derive_seeds, run_sweep, sweep_grid
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "FAILURE_KINDS",
+    "PointFailure",
     "ResultCache",
     "SweepResult",
     "derive_seeds",

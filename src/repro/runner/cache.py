@@ -63,22 +63,36 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(spec)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(
-                replace(result, from_cache=False),
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        os.replace(tmp, path)
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(
+                    replace(result, from_cache=False),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            # A failed serialization (or a kill mid-write) must not leave a
+            # partial entry: the final path only ever appears via os.replace,
+            # and the tmp file is removed here so crashed sweeps don't litter.
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry; returns how many were removed.
+
+        Also sweeps up stale ``*.tmp.*`` files left by writers that were
+        killed between opening the tmp file and the atomic rename (those
+        do not count toward the return value — they were never entries).
+        """
         removed = 0
         if self.root.is_dir():
             for entry in self.root.glob("*.pkl"):
                 entry.unlink(missing_ok=True)
                 removed += 1
+            for stale in self.root.glob("*.tmp.*"):
+                stale.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:

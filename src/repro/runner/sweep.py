@@ -9,6 +9,16 @@ come back in input order, bit-identical regardless of worker count because
 every random draw inside a point comes from the spec's own seed via named
 RNG streams and process-stable hashing.
 
+The runner survives its own failures (the fault-plane PR's second half):
+a point that raises is retried with deterministic exponential backoff and
+then reported as a structured :class:`PointFailure`; a point that exceeds
+the per-point wall-clock ``timeout`` has its workers killed and the pool
+rebuilt; a worker process that dies (``BrokenProcessPool``) marks the
+in-flight points as *suspects*, rebuilds the pool for the untouched queue,
+and afterwards re-runs each suspect alone in a fresh single-worker pool so
+the culprit is identified without a crasher ever executing in this
+process.  A sweep therefore always returns one entry per spec.
+
 Sweep construction helpers:
 
 * :func:`sweep_grid` — the cartesian product builder for the common
@@ -21,9 +31,17 @@ Sweep construction helpers:
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,9 +49,13 @@ import numpy as np
 from repro.apps.spec import ExperimentSpec, PointResult
 from repro.net.hashing import stable_string_seed
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.failures import PointFailure
 
 ProgressFn = Callable[[str], None]
 ExecutorFactory = Callable[[int], Executor]
+
+#: How often the dispatcher wakes to check per-point deadlines (seconds).
+_POLL_SECONDS = 0.25
 
 
 def derive_seeds(base_seed: int, count: int, stream: str = "sweep-seeds") -> list[int]:
@@ -80,9 +102,14 @@ def sweep_grid(
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Results of one sweep, in input order, plus execution accounting."""
+    """Results of one sweep, in input order, plus execution accounting.
 
-    points: tuple[PointResult, ...]
+    ``points`` holds a :class:`PointResult` per successful spec and a
+    :class:`PointFailure` per spec that exhausted its retries — always one
+    entry per input spec, in input order.
+    """
+
+    points: tuple[PointResult | PointFailure, ...]
     executed: int
     cached: int
     wall_seconds: float
@@ -92,6 +119,11 @@ class SweepResult:
 
     def __len__(self) -> int:
         return len(self.points)
+
+    @property
+    def failures(self) -> list[PointFailure]:
+        """Points that failed after exhausting their retries."""
+        return [p for p in self.points if isinstance(p, PointFailure)]
 
     def point(self, **filters) -> PointResult:
         """The unique point whose spec matches all ``filters`` exactly.
@@ -120,7 +152,11 @@ class SweepResult:
     @property
     def events_executed(self) -> int:
         """Total simulator events across executed (non-cached) points."""
-        return sum(p.events_executed for p in self.points if not p.from_cache)
+        return sum(
+            p.events_executed
+            for p in self.points
+            if isinstance(p, PointResult) and not p.from_cache
+        )
 
     @property
     def all_cached(self) -> bool:
@@ -143,6 +179,394 @@ def _point_line(index: int, total: int, result: PointResult) -> str:
     )
 
 
+def _failure_line(index: int, total: int, failure: PointFailure) -> str:
+    return (
+        f"[{index + 1}/{total}] {failure.spec.label()}: "
+        f"FAILED ({failure.kind}, attempt {failure.attempts}): {failure.error}"
+    )
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+
+
+def _backoff(retry_backoff: float, failure_count: int) -> None:
+    """Deterministic exponential backoff before a retry (no jitter)."""
+    if retry_backoff > 0.0:
+        sleep(retry_backoff * (2.0 ** (failure_count - 1)))
+
+
+def _terminate_pool(pool: Executor) -> None:
+    """Best-effort kill of a pool whose work must stop *now* (hung point).
+
+    ``ProcessPoolExecutor`` exposes no supported way to abort running
+    tasks, so the worker processes are terminated directly (private
+    attribute, guarded) and the pool discarded; the caller rebuilds.
+    Executors without worker processes (e.g. thread pools injected through
+    the ``executor_factory`` test seam) just get a non-blocking shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+class _PoolDispatcher:
+    """Manual dispatch of sweep points over a rebuildable process pool.
+
+    Keeps at most ``width`` points in flight so a submission's wall clock
+    starts when its work starts — which is what makes the per-point
+    ``timeout`` fair — and owns the failure machinery: retry accounting,
+    pool-break suspect handling, timeout kills, and the inline fallback
+    when no executor can be built at all.
+    """
+
+    def __init__(
+        self,
+        specs: list[ExperimentSpec],
+        misses: list[int],
+        *,
+        width: int,
+        factory: ExecutorFactory,
+        timeout: float | None,
+        retries: int,
+        retry_backoff: float,
+        max_rebuilds: int,
+        finish: Callable[[int, PointResult], None],
+        fail: Callable[[int, PointFailure], None],
+    ) -> None:
+        self.specs = specs
+        self.queue: deque[int] = deque(misses)
+        self.width = width
+        self.factory = factory
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.max_rebuilds = max_rebuilds
+        self.finish = finish
+        self.fail = fail
+        self.failures: dict[int, int] = dict.fromkeys(misses, 0)
+        self.spent: dict[int, float] = dict.fromkeys(misses, 0.0)
+        self.suspects: list[int] = []
+        self.rebuilds = 0
+        self.pool: Executor | None = None
+        self.in_flight: dict[Future, int] = {}
+        self.deadlines: dict[Future, float | None] = {}
+        self.started: dict[Future, float] = {}
+
+    # -- failure accounting ---------------------------------------------------
+
+    def _point_failure(self, index: int, kind: str, error: str) -> None:
+        self.fail(
+            index,
+            PointFailure(
+                spec=self.specs[index],
+                error=error,
+                kind=kind,
+                attempts=max(1, self.failures[index]),
+                wall_seconds=self.spent[index],
+            ),
+        )
+
+    def _charge(self, index: int, kind: str, error: str) -> bool:
+        """Charge one failed attempt; True if the point may retry."""
+        self.failures[index] += 1
+        if self.failures[index] > self.retries:
+            self._point_failure(index, kind, error)
+            return False
+        _backoff(self.retry_backoff, self.failures[index])
+        return True
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _build_pool(self) -> bool:
+        try:
+            self.pool = self.factory(max(1, min(self.width, len(self.queue) or 1)))
+            return True
+        except Exception:
+            self.pool = None
+            return False
+
+    def _drop_pool(self, terminate: bool) -> None:
+        if self.pool is None:
+            return
+        if terminate:
+            _terminate_pool(self.pool)
+        else:
+            try:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+        self.pool = None
+        self.in_flight.clear()
+        self.deadlines.clear()
+        self.started.clear()
+
+    def _drain_inline(self) -> None:
+        """Graceful fallback: no usable executor, run queued points inline.
+
+        Suspects are *never* run inline — one of them probably kills its
+        process, and inline that process is this one.  With no pool to
+        isolate them they fail as crashes.
+        """
+        while self.queue:
+            index = self.queue.popleft()
+            outcome = _run_inline(
+                self.specs[index],
+                retries=self.retries - self.failures[index],
+                retry_backoff=self.retry_backoff,
+            )
+            if isinstance(outcome, PointFailure):
+                self.fail(index, outcome)
+            else:
+                self.finish(index, outcome)
+        for index in self.suspects:
+            self._point_failure(
+                index,
+                "crash",
+                "worker pool unavailable and point is a crash suspect; "
+                "refusing to run it in-process",
+            )
+        self.suspects.clear()
+
+    def _rebuild_or_drain(self, terminate: bool) -> bool:
+        """Replace a dead pool; False means we fell back to inline."""
+        self._drop_pool(terminate)
+        self.rebuilds += 1
+        if self.rebuilds > self.max_rebuilds or not self._build_pool():
+            self._drain_inline()
+            return False
+        return True
+
+    # -- event handling -------------------------------------------------------
+
+    def _submit_ready(self) -> bool:
+        """Fill the pool up to ``width`` in-flight points."""
+        assert self.pool is not None
+        while self.queue and len(self.in_flight) < self.width:
+            index = self.queue.popleft()
+            try:
+                future = self.pool.submit(_execute_point, self.specs[index])
+            except (BrokenExecutor, RuntimeError):
+                self.queue.appendleft(index)
+                return self._handle_break(extra_victims=())
+            now = perf_counter()  # repro-lint: ignore[D101] -- runner wall-clock accounting
+            self.in_flight[future] = index
+            self.started[future] = now
+            self.deadlines[future] = (
+                None if self.timeout is None else now + self.timeout
+            )
+        return True
+
+    def _handle_break(self, extra_victims: tuple[int, ...]) -> bool:
+        """The pool broke: in-flight points become suspects, pool rebuilds.
+
+        The culprit is unknowable from here — ``BrokenProcessPool`` fails
+        every in-flight future alike — so nobody is charged an attempt
+        unless exactly one point was in flight (definitive blame).
+        """
+        victims = list(extra_victims) + list(self.in_flight.values())
+        if len(victims) == 1:
+            index = victims[0]
+            if self._charge(
+                index, "crash", "worker process died while running this point"
+            ):
+                self.suspects.append(index)
+        else:
+            self.suspects.extend(victims)
+        return self._rebuild_or_drain(terminate=False)
+
+    def _handle_timeouts(self, overdue: list[Future]) -> bool:
+        """Kill a pool with overdue points; requeue the innocent in-flight.
+
+        The overdue points are charged a ``timeout`` attempt; other
+        in-flight points lose their partial work but keep their attempt
+        budget.
+        """
+        retry: list[int] = []
+        innocent: list[int] = []
+        assert self.timeout is not None
+        for future, index in list(self.in_flight.items()):
+            self.spent[index] += (
+                perf_counter() - self.started[future]  # repro-lint: ignore[D101] -- runner wall-clock accounting
+            )
+            if future in overdue:
+                if self._charge(
+                    index,
+                    "timeout",
+                    f"exceeded the {self.timeout:g}s per-point timeout",
+                ):
+                    retry.append(index)
+            else:
+                innocent.append(index)
+        self.queue.extend(innocent)
+        self.queue.extend(retry)
+        return self._rebuild_or_drain(terminate=True)
+
+    def _handle_done(self, future: Future) -> bool:
+        index = self.in_flight.pop(future)
+        self.spent[index] += (
+            perf_counter() - self.started.pop(future)  # repro-lint: ignore[D101] -- runner wall-clock accounting
+        )
+        self.deadlines.pop(future, None)
+        try:
+            result = future.result()
+        except BrokenExecutor:
+            return self._handle_break(extra_victims=(index,))
+        except Exception as exc:
+            if self._charge(index, "exception", _describe(exc)):
+                self.queue.append(index)
+            return True
+        self.finish(index, result)
+        return True
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute every miss; on return each index has a result or failure."""
+        if not self._build_pool():
+            self._drain_inline()
+            return
+        try:
+            while self.queue or self.in_flight:
+                if self.pool is None:
+                    # Inline drain already resolved everything left.
+                    return
+                if not self._submit_ready():
+                    continue
+                if not self.in_flight:
+                    continue
+                wait(
+                    list(self.in_flight),
+                    timeout=None if self.timeout is None else _POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                done = [f for f in self.in_flight if f.done()]
+                intact = True
+                for future in done:
+                    if future not in self.in_flight:
+                        continue  # a break handler already cleared the slot
+                    intact = self._handle_done(future)
+                    if not intact:
+                        break  # pool rebuilt or drained; done list is stale
+                if not intact or self.pool is None:
+                    continue
+                if self.timeout is not None and not done:
+                    now = perf_counter()  # repro-lint: ignore[D101] -- runner wall-clock accounting
+                    overdue = [
+                        f
+                        for f, deadline in self.deadlines.items()
+                        if deadline is not None
+                        and now > deadline
+                        and f in self.in_flight
+                        and not f.done()
+                    ]
+                    if overdue:
+                        self._handle_timeouts(overdue)
+            self._resolve_suspects()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=True)
+                self.pool = None
+
+    # -- suspect resolution ---------------------------------------------------
+
+    def _resolve_suspects(self) -> None:
+        """Re-run each pool-break suspect alone in a fresh one-worker pool.
+
+        Solo execution makes blame definitive: if the pool breaks again
+        only this point can be the crasher, and it is charged and retried
+        until its budget runs out; an innocent point simply completes.
+        Suspects never run inline — a crasher would take this process with
+        it.
+        """
+        for index in self.suspects:
+            self._resolve_one_suspect(index)
+        self.suspects.clear()
+
+    def _resolve_one_suspect(self, index: int) -> None:
+        while True:
+            start = perf_counter()  # repro-lint: ignore[D101] -- runner wall-clock accounting
+            try:
+                solo = self.factory(1)
+            except Exception as exc:
+                self.failures[index] = max(1, self.failures[index])
+                self._point_failure(
+                    index, "crash", f"could not build a solo executor: {_describe(exc)}"
+                )
+                return
+            kind = error = None
+            result = None
+            try:
+                future = solo.submit(_execute_point, self.specs[index])
+                deadline = None if self.timeout is None else start + self.timeout
+                while not future.done():
+                    wait([future], timeout=_POLL_SECONDS)
+                    if (
+                        deadline is not None
+                        and not future.done()
+                        and perf_counter() > deadline  # repro-lint: ignore[D101] -- runner wall-clock accounting
+                    ):
+                        _terminate_pool(solo)
+                        kind, error = (
+                            "timeout",
+                            f"exceeded the {self.timeout:g}s per-point timeout",
+                        )
+                        break
+                if kind is None:
+                    try:
+                        result = future.result()
+                    except BrokenExecutor:
+                        kind, error = "crash", "worker process died while running this point"
+                    except Exception as exc:
+                        kind, error = "exception", _describe(exc)
+            finally:
+                try:
+                    solo.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+            self.spent[index] += perf_counter() - start  # repro-lint: ignore[D101] -- runner wall-clock accounting
+            if kind is None:
+                assert result is not None
+                self.finish(index, result)
+                return
+            if not self._charge(index, kind, error):
+                return
+
+
+def _run_inline(
+    spec: ExperimentSpec, *, retries: int, retry_backoff: float
+) -> PointResult | PointFailure:
+    """Run one spec in this process with exception retries.
+
+    Timeouts are not enforceable inline (there is no worker to kill) and a
+    genuinely crashing point takes the process down — inline mode trades
+    those protections for zero pickling overhead.
+    """
+    failure_count = 0
+    started = perf_counter()  # repro-lint: ignore[D101] -- runner wall-clock accounting
+    while True:
+        try:
+            return _execute_point(spec)
+        except Exception as exc:
+            failure_count += 1
+            if failure_count > max(0, retries):
+                return PointFailure(
+                    spec=spec,
+                    error=_describe(exc),
+                    kind="exception",
+                    attempts=failure_count,
+                    wall_seconds=perf_counter() - started,  # repro-lint: ignore[D101] -- reporting only
+                )
+            _backoff(retry_backoff, failure_count)
+
+
 def run_sweep(
     specs: Iterable[ExperimentSpec],
     *,
@@ -150,6 +574,10 @@ def run_sweep(
     cache: ResultCache | str | os.PathLike | None = DEFAULT_CACHE_DIR,
     progress: ProgressFn | None = None,
     executor_factory: ExecutorFactory | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    retry_backoff: float = 0.5,
+    max_executor_rebuilds: int = 3,
 ) -> SweepResult:
     """Run every spec, in parallel, through the result cache.
 
@@ -162,18 +590,40 @@ def run_sweep(
         bit-identical in all modes.
     cache:
         A :class:`ResultCache`, a directory path for one, or ``None`` to
-        disable caching entirely.
+        disable caching entirely.  Failures are never cached.
     progress:
         Optional callable receiving one human-readable line per completed
-        point (wall clock, events executed, events/sec, cache hits).
+        point (wall clock, events executed, events/sec, cache hits,
+        failures).
     executor_factory:
         Test seam: builds the executor for parallel misses.  Defaults to
         ``ProcessPoolExecutor``.  Never called when every point is served
         from cache or when running inline.
+    timeout:
+        Per-point wall-clock budget in seconds (parallel modes only; the
+        clock starts at submission, which manual dispatch keeps equal to
+        work start).  An overdue point's workers are killed, the pool is
+        rebuilt, innocent in-flight points are requeued without charge,
+        and the offender retries or fails with kind ``"timeout"``.
+    retries:
+        How many times a failing point is re-executed after its first
+        failed attempt (total attempts = ``retries + 1``).
+    retry_backoff:
+        Base of the deterministic exponential backoff slept before each
+        retry: attempt *k* waits ``retry_backoff · 2**(k-1)`` seconds.
+        0 disables the wait.
+    max_executor_rebuilds:
+        How many pool rebuilds (crashes + timeout kills) are tolerated
+        before falling back to inline execution for queued points (crash
+        suspects then fail rather than run in-process).
     """
     specs = list(specs)
     if not specs:
         return SweepResult(points=(), executed=0, cached=0, wall_seconds=0.0)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
     if workers is None:
@@ -181,7 +631,7 @@ def run_sweep(
     started = perf_counter()  # repro-lint: ignore[D101] -- sweep wall time, reporting only
     total = len(specs)
 
-    results: list[PointResult | None] = [None] * total
+    results: list[PointResult | PointFailure | None] = [None] * total
     misses: list[int] = []
     duplicates: dict[int, int] = {}
     seen: dict[str, int] = {}
@@ -205,23 +655,36 @@ def run_sweep(
         if progress is not None:
             progress(_point_line(index, total, result))
 
+    def fail(index: int, failure: PointFailure) -> None:
+        results[index] = failure
+        if progress is not None:
+            progress(_failure_line(index, total, failure))
+
     if misses and workers <= 1:
         for index in misses:
-            finish(index, _execute_point(specs[index]))
+            outcome = _run_inline(
+                specs[index], retries=retries, retry_backoff=retry_backoff
+            )
+            if isinstance(outcome, PointFailure):
+                fail(index, outcome)
+            else:
+                finish(index, outcome)
     elif misses:
         factory = executor_factory or (
             lambda n: ProcessPoolExecutor(max_workers=n)
         )
-        with factory(min(workers, len(misses))) as pool:
-            futures = {
-                pool.submit(_execute_point, specs[index]): index
-                for index in misses
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    finish(futures[future], future.result())
+        _PoolDispatcher(
+            specs,
+            misses,
+            width=min(workers, len(misses)),
+            factory=factory,
+            timeout=timeout,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            max_rebuilds=max_executor_rebuilds,
+            finish=finish,
+            fail=fail,
+        ).run()
 
     for index, first in duplicates.items():
         results[index] = results[first]

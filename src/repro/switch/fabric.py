@@ -85,6 +85,33 @@ class Fabric:
         ports[which].fail()
         return ports[which]
 
+    def restore_link(self, leaf_id: int, spine_id: int, which: int = 0) -> Port:
+        """Restore the ``which``-th parallel link between a leaf and a spine.
+
+        Returns the restored (leaf-side) port.
+        """
+        ports = self.uplink_ports(leaf_id, spine_id)
+        if which >= len(ports):
+            raise ValueError(
+                f"leaf{leaf_id}<->spine{spine_id} has {len(ports)} links, "
+                f"cannot restore link {which}"
+            )
+        ports[which].restore()
+        return ports[which]
+
+    def switch_ports(self, kind: str, switch_id: int) -> list[Port]:
+        """Every port of one switch (``kind`` is ``"leaf"`` or ``"spine"``).
+
+        For a leaf this includes host downlinks as well as uplinks — a
+        blacked-out leaf takes its rack off the network, not just off the
+        fabric.
+        """
+        if kind == "leaf":
+            return list(self.leaves[switch_id].ports)
+        if kind == "spine":
+            return list(self.spines[switch_id].ports)
+        raise ValueError(f"kind must be 'leaf' or 'spine', got {kind!r}")
+
     # -- statistics -------------------------------------------------------------
 
     def leaf_uplink_ports(self) -> Iterator[Port]:

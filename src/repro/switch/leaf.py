@@ -96,6 +96,7 @@ class LeafSwitch(Node):
         )
         dre = DRE(self.sim, rate_bps, self.params)
         port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        port.dre = dre  # so rate changes (Port.set_rate) retarget it
         self.uplinks.append(port)
         self.uplink_spine.append(spine)
         self.uplink_dres.append(dre)

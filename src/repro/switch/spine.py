@@ -62,6 +62,7 @@ class SpineSwitch(Node):
         dre = DRE(self.sim, rate_bps, self.params)
         self.dres.append(dre)
         port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        port.dre = dre  # so rate changes (Port.set_rate) retarget it
         self._leaf_ports.setdefault(leaf_id, []).append(port.index)
         # New wiring changes reachability fabric-wide (leaf candidate caches
         # consult this spine via can_reach), so bump the global epoch.

@@ -1,0 +1,114 @@
+"""Golden determinism fixture for a faulted run (LinkDown/LinkUp mid-run).
+
+Pins the sha256 digest of the complete per-flow FCT records for CONGA on a
+fixed-seed spec whose fabric loses a leaf1↔spine1 link mid-run and gets it
+back a millisecond later.  Two properties are enforced:
+
+* the digest is *bit-identical* whether the point runs inline (workers=0)
+  or in a worker process pool — fault application rides the deterministic
+  event kernel, so process fan-out must not move a single bit;
+* the digest matches the pinned fixture, so refactors of the fault plane
+  (or the kernel under it) that change faulted behaviour fail loudly.
+
+Regenerate (only when behaviour is changed on purpose)::
+
+    PYTHONPATH=src python tests/test_golden_faults.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.fct import records_digest
+from repro.apps import ExperimentSpec
+from repro.faults import LinkDown, LinkUp
+from repro.runner import run_sweep
+from repro.units import microseconds
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fault_digests.json"
+
+#: Mid-run down/up bracket: the run ends around 2.3 ms, so the link is gone
+#: for the busy middle [0.5 ms, 1.5 ms) — flowlets reroute on the way down
+#: AND on the way back up.
+FAULTS = (
+    LinkDown(time=microseconds(500), leaf=1, spine=1, which=0),
+    LinkUp(time=microseconds(1500), leaf=1, spine=1, which=0),
+)
+
+
+def golden_spec() -> ExperimentSpec:
+    """The frozen faulted spec the golden digest is computed from."""
+    return ExperimentSpec(
+        scheme="conga",
+        workload="enterprise",
+        load=0.6,
+        seed=7,
+        num_flows=60,
+        size_scale=0.05,
+        faults=FAULTS,
+    )
+
+
+def compute_entry() -> dict:
+    """Run the faulted golden spec inline and summarize it for the fixture."""
+    point = golden_spec().run()
+    assert point.summary is not None
+    return {
+        "digest": records_digest(list(point.records)),
+        "completed": point.completed,
+        "arrivals": point.arrivals,
+        "mean_normalized": point.summary.mean_normalized,
+        "end_time": point.end_time,
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing at {GOLDEN_PATH}; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_faults.py --update`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_faulted_run_matches_fixture():
+    golden = _load_golden()["conga-linkdown-linkup"]
+    entry = compute_entry()
+    assert entry["completed"] == golden["completed"]
+    assert entry["arrivals"] == golden["arrivals"]
+    assert entry["end_time"] == golden["end_time"]
+    assert entry["mean_normalized"] == golden["mean_normalized"]
+    assert entry["digest"] == golden["digest"]
+
+
+def test_faulted_digest_identical_across_worker_counts():
+    """workers=0 (inline) and workers=2 (process pool) must agree exactly."""
+    spec = golden_spec()
+    inline = run_sweep([spec], workers=0, cache=None)
+    pooled = run_sweep([spec], workers=2, cache=None)
+    digest_inline = records_digest(list(inline.points[0].records))
+    digest_pooled = records_digest(list(pooled.points[0].records))
+    assert digest_inline == digest_pooled
+    assert inline.points[0].end_time == pooled.points[0].end_time
+
+
+def _update() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    entry = compute_entry()
+    GOLDEN_PATH.write_text(
+        json.dumps({"conga-linkdown-linkup": entry}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+    print(f"  digest {entry['digest'][:16]}  "
+          f"{entry['completed']}/{entry['arrivals']} flows, "
+          f"end {entry['end_time']} ns")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        _update()
+    else:
+        print(__doc__)

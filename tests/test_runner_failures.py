@@ -1,0 +1,233 @@
+"""Fault tolerance of the sweep runner itself.
+
+The fault plane's second half: ``run_sweep`` must survive points that
+raise, hang, or kill their worker process, return a structured
+:class:`PointFailure` in the failing point's input-order slot, and keep
+the result cache uncorrupted throughout.
+
+The chaos schemes here misbehave *inside* ``make_selector`` so the damage
+happens in the worker that executes the point, not at spec construction.
+They are registered at import time (for the parent and forked workers) and
+again via the ``ProcessPoolExecutor`` initializer (for spawned workers).
+"""
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.apps import ExperimentSpec
+from repro.apps.experiment import SchemeSpec, register_scheme
+from repro.apps.traffic import tcp_flow_factory
+from repro.lb import EcmpSelector
+from repro.runner import PointFailure, ResultCache, run_sweep
+from repro.runner.failures import FAILURE_KINDS
+
+
+def _crash_selector():
+    os._exit(3)  # simulates a segfault / OOM kill: no exception, no cleanup
+
+
+def _sleep_selector():
+    time.sleep(15.0)  # far beyond any test timeout; killed, never finishes
+    return EcmpSelector.factory()
+
+
+def _error_selector():
+    raise RuntimeError("chaos: injected point failure")
+
+
+def _register_chaos_schemes():
+    """Register the misbehaving schemes (idempotent; used as pool initializer)."""
+    for name, selector in (
+        ("chaos-crash", _crash_selector),
+        ("chaos-sleep", _sleep_selector),
+        ("chaos-error", _error_selector),
+    ):
+        register_scheme(
+            SchemeSpec(name, selector, tcp_flow_factory), replace=True
+        )
+
+
+_register_chaos_schemes()
+
+
+def _chaos_pool(n):
+    return ProcessPoolExecutor(max_workers=n, initializer=_register_chaos_schemes)
+
+
+def _tiny(scheme, seed=1):
+    return ExperimentSpec(
+        scheme, "enterprise", 0.4, seed=seed, num_flows=12, size_scale=0.02
+    )
+
+
+# ---------------------------------------------------------------------------
+# PointFailure value semantics
+
+
+def test_point_failure_validation():
+    spec = _tiny("ecmp")
+    with pytest.raises(ValueError):
+        PointFailure(spec, "boom", kind="meteor", attempts=1, wall_seconds=0.0)
+    with pytest.raises(ValueError):
+        PointFailure(spec, "boom", kind="crash", attempts=0, wall_seconds=0.0)
+    failure = PointFailure(spec, "boom", kind="exception", attempts=2, wall_seconds=0.1)
+    assert failure.scheme == "ecmp"
+    assert failure.workload == "enterprise"
+    assert failure.load == 0.4
+    assert not failure.from_cache
+    assert set(FAILURE_KINDS) == {"exception", "timeout", "crash"}
+
+
+# ---------------------------------------------------------------------------
+# Inline (workers=0) failure handling
+
+
+def test_inline_exception_becomes_point_failure(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    specs = [_tiny("ecmp"), _tiny("chaos-error")]
+    sweep = run_sweep(specs, workers=0, cache=cache, retries=1, retry_backoff=0.0)
+    assert len(sweep.points) == 2  # one entry per spec, in input order
+    good, bad = sweep.points
+    assert good.spec.scheme == "ecmp" and good.completed == good.arrivals
+    assert isinstance(bad, PointFailure)
+    assert bad.kind == "exception"
+    assert bad.attempts == 2  # first try + one retry
+    assert "chaos: injected point failure" in bad.error
+    assert sweep.failures == [bad]
+    # Only the good point was cached; failures are never cached.
+    assert len(cache) == 1
+    assert cache.get(specs[0]) is not None
+    assert cache.get(specs[1]) is None
+    # events_executed must skip failures rather than crash on them.
+    assert sweep.events_executed == good.events_executed
+
+
+def test_inline_retry_can_succeed(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return EcmpSelector.factory()
+
+    register_scheme(
+        SchemeSpec("chaos-flaky", flaky, tcp_flow_factory), replace=True
+    )
+    sweep = run_sweep(
+        [_tiny("chaos-flaky")], workers=0, cache=None, retries=1, retry_backoff=0.0
+    )
+    assert sweep.failures == []
+    assert sweep.points[0].completed == sweep.points[0].arrivals
+
+
+# ---------------------------------------------------------------------------
+# Worker-process death (the chaos-smoke gate in CI)
+
+
+@pytest.mark.chaos_smoke
+def test_worker_crash_yields_one_failure_and_clean_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    specs = [
+        _tiny("ecmp", seed=1),
+        _tiny("chaos-crash"),
+        _tiny("ecmp", seed=2),
+        _tiny("conga", seed=1),
+    ]
+    sweep = run_sweep(
+        specs,
+        workers=2,
+        cache=cache,
+        executor_factory=_chaos_pool,
+        retries=1,
+        retry_backoff=0.0,
+    )
+    assert len(sweep.points) == 4
+    failures = sweep.failures
+    assert len(failures) == 1
+    assert failures[0].kind == "crash"
+    assert failures[0].spec.scheme == "chaos-crash"
+    assert failures[0].attempts == 2
+    # Every good point completed despite sharing a pool with the crasher.
+    good = [p for p in sweep.points if not isinstance(p, PointFailure)]
+    assert len(good) == 3
+    assert all(p.completed == p.arrivals for p in good)
+    # The cache holds exactly the three good results and no debris.
+    assert len(cache) == 3
+    assert not list((tmp_path / "cache").glob("*.tmp.*"))
+    for spec, point in zip(specs, sweep.points):
+        if not isinstance(point, PointFailure):
+            assert cache.get(spec) is not None
+
+
+@pytest.mark.chaos_smoke
+def test_point_timeout_is_killed_and_reported(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    specs = [_tiny("chaos-sleep"), _tiny("ecmp", seed=3), _tiny("ecmp", seed=4)]
+    sweep = run_sweep(
+        specs,
+        workers=2,
+        cache=cache,
+        executor_factory=_chaos_pool,
+        timeout=2.0,
+        retries=0,
+        retry_backoff=0.0,
+    )
+    failures = sweep.failures
+    assert len(failures) == 1
+    assert failures[0].kind == "timeout"
+    assert failures[0].spec.scheme == "chaos-sleep"
+    good = [p for p in sweep.points if not isinstance(p, PointFailure)]
+    assert len(good) == 2  # innocents requeued after the pool kill
+    assert all(p.completed == p.arrivals for p in good)
+    assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# Cache hardening
+
+
+def test_cache_put_failure_leaves_no_debris(tmp_path, monkeypatch):
+    from repro.runner import cache as cache_module
+
+    cache = ResultCache(tmp_path / "cache")
+    spec = _tiny("ecmp")
+    point = spec.run()
+
+    def explode(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(cache_module.pickle, "dump", explode)
+    with pytest.raises(OSError):
+        cache.put(spec, point)
+    monkeypatch.undo()
+    # No partial entry, no stale tmp file.
+    assert cache.get(spec) is None
+    assert list((tmp_path / "cache").iterdir()) == []
+    # And a clean put still works afterwards.
+    cache.put(spec, point)
+    assert cache.get(spec) is not None
+
+
+def test_cache_clear_sweeps_stale_tmp_files(tmp_path):
+    root = tmp_path / "cache"
+    cache = ResultCache(root)
+    spec = _tiny("ecmp")
+    cache.put(spec, spec.run())
+    (root / "deadbeef.tmp.12345").write_bytes(b"partial write")
+    assert cache.clear() == 1  # one real entry removed ...
+    assert list(root.iterdir()) == []  # ... and the stale tmp swept up
+    assert len(cache) == 0
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = _tiny("ecmp")
+    path = cache.put(spec, spec.run())
+    path.write_bytes(pickle.dumps(object())[:10])  # truncated garbage
+    assert cache.get(spec) is None
+    assert not path.exists()  # corrupt entry dropped, not left to re-fail
