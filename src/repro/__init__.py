@@ -22,7 +22,7 @@ Quickstart::
     print(flow.fct)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -31,6 +31,7 @@ __all__ = [
     "fluid",
     "lb",
     "net",
+    "obs",
     "overlay",
     "sim",
     "switch",

@@ -8,6 +8,7 @@ from repro.analysis.fct import (
     relative_to,
 )
 from repro.analysis.monitors import (
+    EmptySeriesError,
     ImbalanceSeries,
     QueueMonitor,
     QueueSeries,
@@ -22,6 +23,7 @@ from repro.analysis.report import (
 
 __all__ = [
     "DegradationSummary",
+    "EmptySeriesError",
     "FctSummary",
     "ImbalanceSeries",
     "LARGE_FLOW_BYTES",

@@ -29,6 +29,26 @@ def _port_name(port) -> str:
     return port.name if isinstance(port, Port) else port
 
 
+class EmptySeriesError(ValueError):
+    """A monitor statistic was requested before any sample landed.
+
+    Short runs (smoke tests, quick sweeps) can finish before a monitor's
+    first loaded window, so "no samples" is an expected condition that
+    sweep-level aggregation wants to *skip and log*, not crash on.  The
+    exception carries the monitor name and its sampling interval so the
+    skip message can say which monitor came up empty and how coarse its
+    windows were.  Subclasses ``ValueError`` for backward compatibility
+    with callers that caught the old bare error.
+    """
+
+    def __init__(self, monitor: str, interval: int) -> None:
+        super().__init__(
+            f"no samples recorded by {monitor} (sampling interval {interval} ns)"
+        )
+        self.monitor = monitor
+        self.interval = interval
+
+
 @dataclass(frozen=True)
 class ImbalanceSeries:
     """Picklable snapshot of a :class:`ThroughputImbalanceMonitor`.
@@ -45,13 +65,13 @@ class ImbalanceSeries:
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of recorded imbalance samples (percent)."""
         if not self.samples:
-            raise ValueError("no samples recorded")
+            raise EmptySeriesError("ImbalanceSeries", self.interval)
         return float(np.percentile(np.array(self.samples) * 100.0, q))
 
     def mean_percent(self) -> float:
         """Mean imbalance in percent."""
         if not self.samples:
-            raise ValueError("no samples recorded")
+            raise EmptySeriesError("ImbalanceSeries", self.interval)
         return float(np.mean(self.samples) * 100.0)
 
     def samples_before(self, deadline: int) -> list[float]:
@@ -85,14 +105,18 @@ class QueueSeries:
         """The ``q``-th percentile occupancy (bytes) at ``port``."""
         series = self.series(port)
         if not series:
-            raise ValueError(f"no samples recorded for {_port_name(port)}")
+            raise EmptySeriesError(
+                f"QueueSeries[{_port_name(port)}]", self.interval
+            )
         return float(np.percentile(series, q))
 
     def mean(self, port) -> float:
         """Mean occupancy (bytes) at ``port``."""
         series = self.series(port)
         if not series:
-            raise ValueError(f"no samples recorded for {_port_name(port)}")
+            raise EmptySeriesError(
+                f"QueueSeries[{_port_name(port)}]", self.interval
+            )
         return float(np.mean(series))
 
 
@@ -139,13 +163,13 @@ class ThroughputImbalanceMonitor:
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile of recorded imbalance samples (percent)."""
         if not self.samples:
-            raise ValueError("no samples recorded")
+            raise EmptySeriesError("ThroughputImbalanceMonitor", self.interval)
         return float(np.percentile(np.array(self.samples) * 100.0, q))
 
     def mean_percent(self) -> float:
         """Mean imbalance in percent."""
         if not self.samples:
-            raise ValueError("no samples recorded")
+            raise EmptySeriesError("ThroughputImbalanceMonitor", self.interval)
         return float(np.mean(self.samples) * 100.0)
 
     def samples_before(self, deadline: int) -> list[float]:
@@ -215,14 +239,14 @@ class QueueMonitor:
         """The ``q``-th percentile occupancy (bytes) at ``port``."""
         series = self.samples[port.name]
         if not series:
-            raise ValueError(f"no samples recorded for {port.name}")
+            raise EmptySeriesError(f"QueueMonitor[{port.name}]", self.interval)
         return float(np.percentile(list(series), q))
 
     def mean(self, port: Port) -> float:
         """Mean occupancy (bytes) at ``port``."""
         series = self.samples[port.name]
         if not series:
-            raise ValueError(f"no samples recorded for {port.name}")
+            raise EmptySeriesError(f"QueueMonitor[{port.name}]", self.interval)
         return float(np.mean(list(series)))
 
     def snapshot(self) -> QueueSeries:
@@ -235,6 +259,7 @@ class QueueMonitor:
 
 
 __all__ = [
+    "EmptySeriesError",
     "ImbalanceSeries",
     "QueueMonitor",
     "QueueSeries",

@@ -21,6 +21,7 @@ from repro.apps.spec import (
     UnknownWorkloadError,
     get_workload,
 )
+from repro.obs.config import ObsSpec
 from repro.apps.traffic import (
     CrossRackTraffic,
     bursty_tcp_flow_factory,
@@ -41,6 +42,7 @@ __all__ = [
     "ImbalanceMonitorSpec",
     "IncastClient",
     "IncastResult",
+    "ObsSpec",
     "PointResult",
     "QueueMonitorSpec",
     "SCHEMES",

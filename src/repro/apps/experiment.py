@@ -43,6 +43,7 @@ from repro.lb import (
 from repro.faults.events import FaultEvent
 from repro.faults.injector import FaultInjector
 from repro.lb.base import SelectorFactory
+from repro.obs.config import ObsSpec
 from repro.sim import Simulator
 from repro.switch.fabric import Fabric
 from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine, scaled_testbed
@@ -190,6 +191,7 @@ def execute_experiment(
     monitor_queue_ports: Callable[[Fabric], list] | None = None,
     queue_interval: int | None = None,
     deadline: int = seconds(20),
+    obs: ObsSpec | None = None,
 ) -> ExperimentResult:
     """Run one experiment point against a resolved :class:`SchemeSpec`.
 
@@ -210,6 +212,10 @@ def execute_experiment(
     if config is None:
         config = scaled_testbed()
     sim = Simulator(seed=seed)
+    if obs is not None:
+        # Attach before any component is built so construction-time events
+        # (e.g. time-0 fault applications) are captured too.
+        sim.tracer = obs.make_tracer()
     fabric = build_leaf_spine(sim, config)
     fabric.finalize(spec.make_selector())
     if spec.post_setup is not None:

@@ -34,6 +34,9 @@ from repro.analysis.fct import FctSummary
 from repro.analysis.monitors import ImbalanceSeries, QueueSeries
 from repro.apps.experiment import ExperimentResult, execute_experiment, get_scheme
 from repro.faults.events import FaultEvent, fault_window
+from repro.obs.config import ObsSpec
+from repro.obs.metrics import MetricsReport, collect_run_metrics
+from repro.obs.trace import TraceLog
 from repro.topology.leafspine import LeafSpineConfig
 from repro.transport.tcp import FlowRecord, TcpParams
 from repro.units import milliseconds, seconds
@@ -201,6 +204,11 @@ class ExperimentSpec:
     queue_monitor: QueueMonitorSpec | None = None
     imbalance_monitor: ImbalanceMonitorSpec | None = None
     deadline: int = field(default_factory=lambda: seconds(20))
+    #: Observability knob (see :mod:`repro.obs`).  ``None`` — the default —
+    #: disables tracing and is *content-hash-neutral*: a spec without
+    #: ``obs`` hashes identically to one predating the field, so existing
+    #: caches stay valid and tracing can never change what gets computed.
+    obs: ObsSpec | None = None
 
     def __post_init__(self) -> None:
         if self.load <= 0:
@@ -235,6 +243,10 @@ class ExperimentSpec:
         from repro import __version__
 
         payload = _canonical(self)
+        if self.obs is None:
+            # Hash-neutrality: tracing off must hash like the field never
+            # existed, so pre-obs cache keys stay reachable.
+            payload.pop("obs")
         payload["__repro_version__"] = __version__
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -283,6 +295,7 @@ class ExperimentSpec:
                 self.queue_monitor.interval if self.queue_monitor else None
             ),
             deadline=self.deadline,
+            obs=self.obs,
         )
 
     def run(self) -> "PointResult":
@@ -319,6 +332,12 @@ class PointResult:
     retransmissions: int = 0
     timeouts: int = 0
     from_cache: bool = False
+    #: Frozen metrics snapshot of the run (kernel/port/tcp/... counters
+    #: under dotted names); always populated for fresh runs.
+    metrics: MetricsReport | None = None
+    #: Trace snapshot when the spec carried an :class:`ObsSpec`; None for
+    #: untraced runs.
+    trace: TraceLog | None = None
 
     @staticmethod
     def from_live(
@@ -347,6 +366,10 @@ class PointResult:
             imbalance_series=live.imbalance.snapshot() if live.imbalance else None,
             retransmissions=live.retransmissions,
             timeouts=live.timeouts,
+            metrics=collect_run_metrics(live),
+            trace=(
+                live.sim.tracer.snapshot() if live.sim.tracer is not None else None
+            ),
         )
 
     @property

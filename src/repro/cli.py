@@ -156,6 +156,81 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if sweep.failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps import ExperimentSpec, ObsSpec
+
+    obs_kwargs: dict = {}
+    if args.categories is not None:
+        obs_kwargs["categories"] = args.categories
+    if args.limit is not None:
+        obs_kwargs["buffer_limit"] = args.limit
+    try:
+        obs = ObsSpec(**obs_kwargs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        scheme=args.scheme,
+        workload=args.workload,
+        load=args.load,
+        num_flows=args.flows,
+        size_scale=args.size_scale,
+        seed=args.seed,
+        failed_links=_parse_failed_links(args.fail_link),
+        faults=_parse_faults(args.fault),
+        obs=obs,
+    )
+    result = spec.run()
+    trace = result.trace
+    assert trace is not None  # the spec carried an ObsSpec
+    if args.format == "chrome":
+        import json
+
+        text = json.dumps(trace.chrome_trace(), indent=1) + "\n"
+    else:
+        text = "".join(line + "\n" for line in trace.ndjson_lines())
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    print(
+        f"trace: {trace.emitted} events emitted, {len(trace)} retained, "
+        f"{trace.dropped} dropped (categories: {','.join(trace.categories)}; "
+        f"digest {trace.digest()[:12]})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.apps import ExperimentSpec, ImbalanceMonitorSpec
+
+    imbalance = (
+        ImbalanceMonitorSpec(leaf=args.imbalance_leaf)
+        if args.imbalance_leaf is not None
+        else None
+    )
+    spec = ExperimentSpec(
+        scheme=args.scheme,
+        workload=args.workload,
+        load=args.load,
+        num_flows=args.flows,
+        size_scale=args.size_scale,
+        seed=args.seed,
+        failed_links=_parse_failed_links(args.fail_link),
+        faults=_parse_faults(args.fault),
+        imbalance_monitor=imbalance,
+    )
+    result = spec.run()
+    report = result.metrics
+    assert report is not None  # fresh runs always carry a report
+    print(f"metrics: {spec.label()}")
+    for line in report.lines(args.select):
+        print(f"  {line}")
+    return 0
+
+
 def _cmd_incast(args: argparse.Namespace) -> int:
     from repro.apps import IncastClient, mptcp_flow_factory, tcp_flow_factory
     from repro.lb import CongaSelector, EcmpSelector
@@ -313,6 +388,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--set-baseline", action="store_true",
                        help="freeze this run's numbers as the comparison baseline")
     bench.set_defaults(func=_cmd_bench)
+
+    def _point_arguments(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("scheme", nargs="?", default="conga",
+                         choices=sorted(SCHEMES))
+        cmd.add_argument("--workload", default="enterprise",
+                         choices=sorted(WORKLOADS))
+        cmd.add_argument("--load", type=float, default=0.6)
+        cmd.add_argument("--flows", type=int, default=200)
+        cmd.add_argument("--size-scale", type=float, default=0.05)
+        cmd.add_argument("--seed", type=int, default=1)
+        cmd.add_argument("--fail-link", action="append",
+                         metavar="LEAF,SPINE,WHICH",
+                         help="fail a leaf-spine link (repeatable)")
+        cmd.add_argument("--fault", action="append", metavar="FAULT",
+                         help="schedule a fault event "
+                              "(repeatable; same grammar as fct --fault)")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment point with structured tracing on"
+    )
+    _point_arguments(trace)
+    trace.add_argument("--categories", default=None,
+                       help="comma-separated trace categories "
+                            "(default: all; see repro.obs.CATEGORIES)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="trace ring-buffer capacity "
+                            "(oldest events drop beyond this)")
+    trace.add_argument("--format", default="ndjson",
+                       choices=["ndjson", "chrome"],
+                       help="ndjson (one event per line) or a Chrome "
+                            "trace_event JSON document for about://tracing")
+    trace.add_argument("--output", default="-", metavar="PATH",
+                       help="write the trace here instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one experiment point and print its metrics report"
+    )
+    _point_arguments(metrics)
+    metrics.add_argument("--imbalance-leaf", type=int, default=None,
+                         metavar="LEAF",
+                         help="attach a throughput-imbalance monitor to this "
+                              "leaf (adds monitor.imbalance.* metrics)")
+    metrics.add_argument("--select", default="", metavar="PREFIX",
+                         help="only print metrics whose dotted name starts "
+                              "with PREFIX (e.g. kernel., flowlet.)")
+    metrics.set_defaults(func=_cmd_metrics)
 
     poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
     poa.set_defaults(func=_cmd_poa)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.obs.events import DreSampled
 
 if TYPE_CHECKING:
     from repro.sim import Simulator
@@ -47,12 +48,15 @@ class DRE:
         sim: "Simulator",
         link_rate_bps: int,
         params: CongaParams = DEFAULT_PARAMS,
+        name: str = "",
     ) -> None:
         if link_rate_bps <= 0:
             raise ValueError(f"link rate must be positive, got {link_rate_bps}")
         self.sim = sim
         self.link_rate_bps = link_rate_bps
         self.params = params
+        #: Trace label — the measured port's name when attached to one.
+        self.name = name
         self._register = 0.0
         self._last_decay_tick = 0  # index of the last applied T_dre boundary
         # X_full corresponds to a 100%-utilized link: C * tau (in bytes).
@@ -101,8 +105,21 @@ class DRE:
 
     def metric(self) -> int:
         """Quantized congestion metric in ``[0, 2**Q - 1]`` (§3.2)."""
-        level = int(self.utilization() * self.params.metric_levels)
-        return min(level, self.params.max_metric)
+        utilization = self.utilization()
+        level = int(utilization * self.params.metric_levels)
+        metric = min(level, self.params.max_metric)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.dre:
+            tracer.emit(
+                DreSampled(
+                    time=self.sim.now,
+                    link=self.name,
+                    register=self._register,
+                    utilization=utilization,
+                    metric=metric,
+                )
+            )
+        return metric
 
     def set_link_rate(self, link_rate_bps: int) -> None:
         """Retarget the estimator to a new line rate ``C`` (link degradation).

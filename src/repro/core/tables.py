@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.params import CongaParams, DEFAULT_PARAMS
+from repro.obs.events import CongaTableAged, CongaTableUpdated
 
 if TYPE_CHECKING:
     from repro.sim import Simulator
@@ -42,12 +43,15 @@ class CongestionToLeafTable:
         sim: "Simulator",
         num_uplinks: int,
         params: CongaParams = DEFAULT_PARAMS,
+        owner: int = -1,
     ) -> None:
         if num_uplinks <= 0:
             raise ValueError(f"need at least one uplink, got {num_uplinks}")
         self.sim = sim
         self.num_uplinks = num_uplinks
         self.params = params
+        #: Trace label — the leaf this table lives on (-1 when standalone).
+        self.owner = owner
         self._rows: dict[int, list[_RemoteMetric]] = {}
 
     def _row(self, dst_leaf: int) -> list[_RemoteMetric]:
@@ -65,6 +69,17 @@ class CongestionToLeafTable:
         cell.value = metric
         cell.updated_at = self.sim.now
         cell.valid = True
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.table:
+            tracer.emit(
+                CongaTableUpdated(
+                    time=self.sim.now,
+                    leaf=self.owner,
+                    dst_leaf=dst_leaf,
+                    lbtag=lbtag,
+                    metric=metric,
+                )
+            )
 
     def metric(self, dst_leaf: int, lbtag: int) -> int:
         """Aged remote metric for (``dst_leaf``, ``lbtag``); 0 if unknown.
@@ -83,9 +98,22 @@ class CongestionToLeafTable:
         # metric "gradually decays to zero"; the exact ramp is unspecified).
         overshoot = age - age_time
         if overshoot >= age_time:
-            return 0
-        scale = 1.0 - overshoot / age_time
-        return int(cell.value * scale)
+            aged = 0
+        else:
+            aged = int(cell.value * (1.0 - overshoot / age_time))
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.table:
+            tracer.emit(
+                CongaTableAged(
+                    time=self.sim.now,
+                    leaf=self.owner,
+                    dst_leaf=dst_leaf,
+                    lbtag=lbtag,
+                    stored=cell.value,
+                    aged=aged,
+                )
+            )
+        return aged
 
     def metrics_toward(self, dst_leaf: int) -> list[int]:
         """All aged uplink metrics toward ``dst_leaf`` as a list by LBTag."""

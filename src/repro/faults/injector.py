@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.faults.events import FaultEvent
+from repro.obs.events import FaultApplied, FaultRestored
 
 if TYPE_CHECKING:
     from repro.net.port import Port
@@ -56,6 +57,16 @@ class FaultInjector:
     def _apply(self, event: FaultEvent) -> None:
         event.apply(self)
         self.applied.append((self.sim.now, event))
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.fault:
+            cls = FaultRestored if event.restores() else FaultApplied
+            tracer.emit(
+                cls(
+                    time=self.sim.now,
+                    kind=type(event).__name__,
+                    fault=repr(event),
+                )
+            )
 
     # -- helpers used by event.apply() implementations -----------------------
 

@@ -25,6 +25,7 @@ from repro.core.flowlet import FlowletTable
 from repro.core.params import CONGA_FLOW_PARAMS, CongaParams, DEFAULT_PARAMS
 from repro.lb.base import SelectorFactory, UplinkSelector
 from repro.net.packet import Packet
+from repro.obs.events import FlowletRerouted
 
 if TYPE_CHECKING:
     from repro.switch.leaf import LeafSwitch
@@ -52,19 +53,44 @@ class CongaSelector(UplinkSelector):
         entry = self.flowlets.lookup(packet.five_tuple)
         if entry.valid and entry.port in candidates:
             return entry.port
-        choice = self._decide(dst_leaf, candidates, previous=entry.port)
+        choice = self._decide(
+            dst_leaf, candidates, previous=entry.port, flow_id=packet.flow_id
+        )
         self.flowlets.install(entry, choice)
         self.decisions += 1
         return choice
 
-    def _decide(self, dst_leaf: int, candidates: list[int], previous: int) -> int:
-        metrics = [self.path_metric(dst_leaf, uplink) for uplink in candidates]
+    def _decide(
+        self, dst_leaf: int, candidates: list[int], previous: int, flow_id: int = -1
+    ) -> int:
+        leaf = self.leaf
+        table = leaf.to_leaf_table
+        local_metrics = [leaf.local_metric(uplink) for uplink in candidates]
+        remote_metrics = [table.metric(dst_leaf, uplink) for uplink in candidates]
+        metrics = [max(lo, rm) for lo, rm in zip(local_metrics, remote_metrics)]
         best = min(metrics)
         ties = [u for u, m in zip(candidates, metrics) if m == best]
         if previous in ties:
             # §3.5: a flow only moves if a strictly better uplink exists.
-            return previous
-        return ties[int(self._rng.integers(len(ties)))]
+            choice = previous
+        else:
+            choice = ties[int(self._rng.integers(len(ties)))]
+        tracer = leaf.sim.tracer
+        if tracer is not None and tracer.flowlet:
+            tracer.emit(
+                FlowletRerouted(
+                    time=leaf.sim.now,
+                    leaf=leaf.leaf_id,
+                    dst_leaf=dst_leaf,
+                    flow_id=flow_id,
+                    chosen=choice,
+                    previous=previous,
+                    candidates=tuple(candidates),
+                    local_metrics=tuple(local_metrics),
+                    remote_metrics=tuple(remote_metrics),
+                )
+            )
+        return choice
 
     @classmethod
     def factory(cls, params: CongaParams = DEFAULT_PARAMS) -> SelectorFactory:

@@ -12,6 +12,8 @@ Rule classes:
   dependent hashing, unordered iteration, float accumulation in loops.
 * ``S2xx`` (simulation invariants): picklable event callbacks, frozen
   experiment specs, registry writes through the registration API.
+* ``R3xx`` (reporting discipline): no print()/logging on simulator code
+  paths — signals go through the :mod:`repro.obs` plane.
 
 See DESIGN.md for the full catalog with paper references, and README.md
 for CLI usage.

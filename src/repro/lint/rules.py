@@ -1,4 +1,5 @@
-"""The rule catalog: determinism (D1xx) and simulation invariants (S2xx).
+"""The rule catalog: determinism (D1xx), simulation invariants (S2xx),
+and reporting discipline (R3xx).
 
 Each rule turns one of this reproduction's correctness contracts into a
 machine-checked property.  The D-class rules guard the bit-exact
@@ -585,6 +586,71 @@ class RegistryWriteRule(Rule):
         return None
 
 
+class AdHocOutputRule(Rule):
+    """R301 — simulator code reports through repro.obs, not print/logging."""
+
+    rule_id = "R301"
+    title = "no print() / logging on simulator code paths"
+    scopes = ("core", "lb", "sim", "switch", "transport")
+    rationale = (
+        "The observability contract routes every hot-path signal through "
+        "repro.obs: trace events for per-decision records, registry metrics "
+        "for counters.  A print() or logging call in simulator packages is "
+        "unstructured, unconditionally paid for, and invisible to the trace "
+        "digest — so it rots into debugging residue.  Emit a TraceEvent or "
+        "bump a metric instead."
+    )
+    paper_ref = "repro.obs plane (DESIGN.md observability chapter)"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        tree = module.tree
+        shadowed = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        shadowed.add(target.id)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith("logging."):
+                        yield self.violation(
+                            module,
+                            node,
+                            "import of the logging module in simulator code; "
+                            "emit a repro.obs TraceEvent or registry metric "
+                            "instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                    node.module or ""
+                ).startswith("logging."):
+                    yield self.violation(
+                        module,
+                        node,
+                        "import from the logging module in simulator code; "
+                        "emit a repro.obs TraceEvent or registry metric "
+                        "instead",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+                and "print" not in shadowed
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "print() on a simulator code path; emit a repro.obs "
+                    "TraceEvent (gated on `tracer is not None`) or bump a "
+                    "registry metric instead",
+                )
+
+
 #: Every shipped rule, in catalog order.
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -592,6 +658,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnstableHashRule(),
     UnorderedIterationRule(),
     FloatAccumulationRule(),
+    AdHocOutputRule(),
     ScheduleCallbackRule(),
     FrozenSpecRule(),
     RegistryWriteRule(),
@@ -619,6 +686,7 @@ def get_rules(select: str | None = None) -> tuple[Rule, ...]:
 
 __all__ = [
     "ALL_RULES",
+    "AdHocOutputRule",
     "FloatAccumulationRule",
     "FrozenSpecRule",
     "RandomModuleRule",

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.obs.events import PacketDropped
 from repro.units import SECOND, transmission_time
 
 if TYPE_CHECKING:
@@ -209,12 +210,27 @@ class Port:
             # A down link drops silently; upper layers recover via timeouts.
             self.queue.stats.dropped_packets += 1
             self.queue.stats.dropped_bytes += packet.size
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.drop:
+                tracer.emit(self._drop_event(packet, "link-down"))
             return False
         if not self.queue.offer(packet):
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.drop:
+                tracer.emit(self._drop_event(packet, "queue-full"))
             return False
         if not self._transmitting:
             self._transmit_next()
         return True
+
+    def _drop_event(self, packet: Packet, reason: str) -> PacketDropped:
+        return PacketDropped(
+            time=self.sim.now,
+            port=self.name,
+            flow_id=packet.flow_id,
+            size=packet.size,
+            reason=reason,
+        )
 
     def _transmit_next(self) -> None:
         packet = self.queue.poll()
@@ -243,6 +259,9 @@ class Port:
             or self._loss_rng.random() < self._loss_probability
         ):
             self.lost_packets += 1
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.drop:
+                tracer.emit(self._drop_event(packet, "loss"))
             self._transmit_next()
             return
         peer = self.peer

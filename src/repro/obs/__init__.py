@@ -1,0 +1,90 @@
+"""repro.obs — the observability plane: tracing, metrics, run manifests.
+
+Three cooperating pieces, all reporting-only (nothing here ever feeds back
+into simulation behaviour — golden digests are bit-identical with the
+plane off and on):
+
+* **Structured tracing** (:mod:`repro.obs.events`, :mod:`repro.obs.trace`)
+  — typed frozen events recording *why* the simulation did what it did
+  (flowlet uplink decisions with both compared congestion metrics, DRE
+  reads, Congestion-To-Leaf updates/aging, TCP state transitions, drops,
+  faults), collected by a per-simulator :class:`Tracer` with category
+  filters and a bounded ring buffer, exportable as NDJSON or Chrome
+  ``trace_event`` JSON.  Disabled (the default) it costs one ``is None``
+  check per potential event — enforced by the ``repro.perf``
+  trace-overhead bench.
+* **Metrics registry** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  decimated histograms under stable dotted names (``kernel.*``,
+  ``port.*``, ``tcp.*``, ``sweep.*``), frozen into a picklable
+  :class:`MetricsReport` on every :class:`~repro.apps.spec.PointResult`.
+* **Run manifests** (:mod:`repro.obs.manifest`) — a provenance JSON
+  (spec hash, seed, faults, git SHA, version, wall/sim time, metrics
+  summary) written next to every result-cache entry.
+
+Import discipline: this package depends only on the standard library and
+:mod:`repro.core.series`, so every instrumented module — including
+:mod:`repro.sim.kernel` — can import it without cycles.
+"""
+
+from repro.obs.config import ObsSpec
+from repro.obs.events import (
+    CongaTableAged,
+    CongaTableUpdated,
+    DreSampled,
+    FaultApplied,
+    FaultRestored,
+    FlowletRerouted,
+    PacketDropped,
+    RtoFired,
+    TcpStateChanged,
+    TraceEvent,
+    event_payload,
+)
+from repro.obs.manifest import (
+    MANIFEST_SUFFIX,
+    build_manifest,
+    git_sha,
+    manifest_path,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsReport,
+    collect_run_metrics,
+)
+from repro.obs.trace import CATEGORIES, DEFAULT_TRACE_LIMIT, TraceLog, Tracer
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_TRACE_LIMIT",
+    "CongaTableAged",
+    "CongaTableUpdated",
+    "Counter",
+    "DreSampled",
+    "FaultApplied",
+    "FaultRestored",
+    "FlowletRerouted",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "MANIFEST_SUFFIX",
+    "MetricsRegistry",
+    "MetricsReport",
+    "ObsSpec",
+    "PacketDropped",
+    "RtoFired",
+    "TcpStateChanged",
+    "TraceEvent",
+    "TraceLog",
+    "Tracer",
+    "build_manifest",
+    "collect_run_metrics",
+    "event_payload",
+    "git_sha",
+    "manifest_path",
+    "write_manifest",
+]

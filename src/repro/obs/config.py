@@ -1,0 +1,52 @@
+"""Declarative observability knob for :class:`~repro.apps.spec.ExperimentSpec`.
+
+``ObsSpec`` is the value-object face of the trace plane: frozen, picklable,
+content-hashable — so traced runs sweep and cache like everything else.
+Attaching one to a spec makes ``execute_experiment`` hang a configured
+:class:`~repro.obs.trace.Tracer` on the simulator before any component is
+built; leaving it ``None`` (the default) keeps the spec's content hash
+bit-identical to pre-observability specs and the hot paths on their
+single ``tracer is None`` predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import (
+    CATEGORIES,
+    DEFAULT_TRACE_LIMIT,
+    Tracer,
+    _normalize_categories,
+)
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Frozen description of what one run should trace.
+
+    ``categories`` selects which event families to record (canonicalized
+    to sorted order so equivalent selections hash identically);
+    ``buffer_limit`` bounds the ring buffer.  Tracing never changes what a
+    run computes — only what it records — so two specs differing only in
+    ``obs`` produce identical flow records.
+    """
+
+    categories: tuple[str, ...] = field(default=CATEGORIES)
+    buffer_limit: int = DEFAULT_TRACE_LIMIT
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "categories", _normalize_categories(self.categories)
+        )
+        if self.buffer_limit < 1:
+            raise ValueError(
+                f"buffer_limit must be positive, got {self.buffer_limit}"
+            )
+
+    def make_tracer(self) -> Tracer:
+        """Build the tracer this spec describes (one per simulator)."""
+        return Tracer(categories=self.categories, limit=self.buffer_limit)
+
+
+__all__ = ["ObsSpec"]

@@ -1,0 +1,121 @@
+"""Run manifests: an audit record next to every cached result.
+
+A cached ``PointResult`` pickle answers *what* came out of a run but not
+*what produced it*.  The manifest is a small JSON document written beside
+each cache entry (``<hash>.manifest.json``) recording the full provenance:
+the spec's content hash and headline fields, the seed, the fault schedule,
+the git commit and package version that executed it, wall/sim time, and
+the run's metrics summary.  Anyone auditing a sweep can answer "which code
+produced this number, under which faults, at what cost" without unpickling
+anything.
+
+Manifests are advisory: writing one must never fail a sweep (the cache
+guards the call), and nothing reads them back on the hot path.  They
+deliberately carry no wall-clock timestamps — provenance comes from the
+git SHA and version, keeping the file a pure function of (code, spec,
+run) like everything else in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro import __version__
+
+if TYPE_CHECKING:
+    from repro.apps.spec import PointResult
+
+#: Suffix appended to a cache key to name its manifest file.
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+@lru_cache(maxsize=1)
+def git_sha() -> str | None:
+    """The current git commit hash, or None outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
+
+
+def manifest_path(directory: str | Path, key: str) -> Path:
+    """Where the manifest for cache entry ``key`` lives in ``directory``."""
+    return Path(directory) / f"{key}{MANIFEST_SUFFIX}"
+
+
+def build_manifest(result: "PointResult", *, key: str | None = None) -> dict[str, Any]:
+    """The JSON-able provenance record for one executed point.
+
+    ``key`` is the cache key the result is stored under (defaults to the
+    spec's content hash — they only differ if a caller keys differently).
+    """
+    spec = result.spec
+    content_hash = spec.content_hash()
+    manifest: dict[str, Any] = {
+        "kind": "repro-run-manifest",
+        "spec_hash": key or content_hash,
+        "content_hash": content_hash,
+        "label": spec.label(),
+        "scheme": spec.scheme,
+        "workload": spec.workload,
+        "load": spec.load,
+        "seed": spec.seed,
+        "num_flows": spec.num_flows,
+        "size_scale": spec.size_scale,
+        "faults": [repr(event) for event in spec.faults],
+        "failed_links": [list(link) for link in spec.failed_links],
+        "traced": spec.obs is not None,
+        "git_sha": git_sha(),
+        "repro_version": __version__,
+        "wall_seconds": result.wall_seconds,
+        "sim_end_time_ns": result.end_time,
+        "events_executed": result.events_executed,
+        "arrivals": result.arrivals,
+        "completed": result.completed,
+        "from_cache": result.from_cache,
+    }
+    if result.metrics is not None:
+        manifest["metrics"] = result.metrics.scalars()
+    if result.trace is not None:
+        manifest["trace"] = {
+            "categories": list(result.trace.categories),
+            "emitted": result.trace.emitted,
+            "retained": len(result.trace),
+            "dropped": result.trace.dropped,
+            "digest": result.trace.digest(),
+        }
+    return manifest
+
+
+def write_manifest(
+    result: "PointResult",
+    directory: str | Path,
+    key: str,
+) -> Path:
+    """Write ``result``'s manifest next to cache entry ``key``; return its path."""
+    path = manifest_path(directory, key)
+    payload = json.dumps(build_manifest(result, key=key), indent=1, sort_keys=True)
+    path.write_text(payload + "\n")
+    return path
+
+
+__all__ = [
+    "MANIFEST_SUFFIX",
+    "build_manifest",
+    "git_sha",
+    "manifest_path",
+    "write_manifest",
+]

@@ -1,0 +1,237 @@
+"""The per-simulator tracer: category filters, ring buffer, exports.
+
+A :class:`Tracer` is attached to a :class:`~repro.sim.Simulator` as
+``sim.tracer`` (``None`` by default).  Instrumented hot paths gate on
+exactly two cheap checks::
+
+    tracer = self.sim.tracer
+    if tracer is not None and tracer.flowlet:
+        tracer.emit(FlowletRerouted(...))
+
+so a run without a tracer pays one attribute load and an ``is None`` test
+per potential event — the "zero overhead when disabled" contract that the
+``repro.perf`` trace-overhead bench enforces (<3% vs the committed
+``BENCH_kernel.json`` baseline).  The per-category flags (``tracer.dre``,
+``tracer.flowlet``, ...) are precomputed plain booleans, so an enabled
+tracer with a narrow filter skips uninteresting categories without any
+set lookup.
+
+Tracing *observes* and never perturbs: emitting appends to a bounded
+``deque`` (oldest events fall off when ``limit`` is exceeded), consumes no
+RNG stream, and schedules nothing — the golden digests in ``tests/golden``
+are bit-identical with tracing off and on.
+
+Exports: NDJSON (one JSON object per line, stable field order) and the
+Chrome ``trace_event`` JSON format, loadable in ``chrome://tracing`` /
+Perfetto as instant events on per-category tracks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.events import TraceEvent, event_payload
+
+#: Every trace category, in canonical (sorted) order.
+CATEGORIES: tuple[str, ...] = ("dre", "drop", "fault", "flowlet", "table", "tcp")
+
+#: Default ring-buffer bound: plenty for a scaled run's decision events
+#: while keeping a worst-case all-categories trace to tens of MB.
+DEFAULT_TRACE_LIMIT = 65536
+
+
+def _normalize_categories(categories: object) -> tuple[str, ...]:
+    """Validate and canonicalize a category selection (None = all)."""
+    if categories is None:
+        return CATEGORIES
+    if isinstance(categories, str):
+        categories = [part.strip() for part in categories.split(",")]
+    wanted = [name for name in categories if name]
+    unknown = sorted(set(wanted) - set(CATEGORIES))
+    if unknown:
+        known = ", ".join(CATEGORIES)
+        raise ValueError(
+            f"unknown trace categor{'y' if len(unknown) == 1 else 'ies'} "
+            f"{', '.join(unknown)}; known categories: {known}"
+        )
+    return tuple(name for name in CATEGORIES if name in wanted)
+
+
+def _ndjson_line(event: TraceEvent) -> str:
+    return json.dumps(event_payload(event), sort_keys=True, separators=(",", ":"))
+
+
+def _chrome_record(event: TraceEvent) -> dict:
+    payload = event_payload(event)
+    return {
+        "name": payload.pop("name"),
+        "cat": payload.pop("cat"),
+        "ph": "i",  # instant event
+        "s": "g",  # global scope
+        "ts": payload["time"] / 1000.0,  # trace_event wants microseconds
+        "pid": 1,
+        "tid": CATEGORIES.index(event.category) + 1,
+        "args": payload,
+    }
+
+
+@dataclass(frozen=True)
+class TraceLog:
+    """A frozen, picklable snapshot of a tracer's buffer.
+
+    ``events`` holds the retained ring-buffer contents in emission order;
+    ``emitted`` counts everything ever offered, so ``dropped`` is how many
+    old events the ring evicted.  All export/digest helpers live here so a
+    :class:`~repro.apps.spec.PointResult` carries them across process and
+    cache boundaries.
+    """
+
+    events: tuple[TraceEvent, ...]
+    categories: tuple[str, ...]
+    limit: int
+    emitted: int
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring buffer (emitted − retained)."""
+        return max(0, self.emitted - len(self.events))
+
+    def select(self, *categories: str) -> tuple[TraceEvent, ...]:
+        """Retained events restricted to the given categories (all if none)."""
+        if not categories:
+            return self.events
+        wanted = set(_normalize_categories(list(categories)))
+        return tuple(e for e in self.events if e.category in wanted)
+
+    def ndjson_lines(self) -> Iterator[str]:
+        """One compact JSON object per retained event, in emission order."""
+        for event in self.events:
+            yield _ndjson_line(event)
+
+    def write_ndjson(self, path: str | Path) -> Path:
+        """Write the NDJSON export to ``path``; returns the path."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for line in self.ndjson_lines():
+                handle.write(line + "\n")
+        return path
+
+    def chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` JSON document (JSON Object Format)."""
+        return {
+            "traceEvents": [_chrome_record(event) for event in self.events],
+            "displayTimeUnit": "ns",
+            "metadata": {
+                "categories": list(self.categories),
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace(), indent=1) + "\n")
+        return path
+
+    def digest(self) -> str:
+        """sha256 over the NDJSON export — the trace-determinism fingerprint.
+
+        Two runs of the same spec must produce identical digests whether
+        they execute inline or on any number of sweep workers.
+        """
+        hasher = hashlib.sha256()
+        for line in self.ndjson_lines():
+            hasher.update(line.encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class Tracer:
+    """Bounded, category-filtered event recorder for one simulator.
+
+    Parameters
+    ----------
+    categories:
+        Which categories to record — an iterable of names or a
+        comma-separated string; ``None`` records everything.  Unknown
+        names raise immediately (typos must not silently disable a
+        trace).
+    limit:
+        Ring-buffer bound; when full, the oldest events are evicted
+        (``dropped`` counts them) so the newest window is always kept.
+    """
+
+    __slots__ = ("categories", "limit", "emitted", "_buffer") + CATEGORIES
+
+    def __init__(
+        self,
+        categories: object = None,
+        limit: int = DEFAULT_TRACE_LIMIT,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"trace buffer limit must be positive, got {limit}")
+        self.categories = _normalize_categories(categories)
+        self.limit = limit
+        self.emitted = 0
+        self._buffer: deque[TraceEvent] = deque(maxlen=limit)
+        # Precomputed per-category booleans: the enabled-path gate is a
+        # plain attribute read, not a set membership test.
+        enabled = set(self.categories)
+        for name in CATEGORIES:
+            setattr(self, name, name in enabled)
+
+    def wants(self, category: str) -> bool:
+        """Whether ``category`` is being recorded."""
+        return category in self.categories
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (callers gate on the category flag first)."""
+        self.emitted += 1
+        self._buffer.append(event)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer so far."""
+        return max(0, self.emitted - len(self._buffer))
+
+    def events(self, *categories: str) -> list[TraceEvent]:
+        """Retained events, optionally restricted to some categories."""
+        if not categories:
+            return list(self._buffer)
+        wanted = set(_normalize_categories(list(categories)))
+        return [e for e in self._buffer if e.category in wanted]
+
+    def snapshot(self) -> TraceLog:
+        """Freeze the buffer into a picklable :class:`TraceLog`."""
+        return TraceLog(
+            events=tuple(self._buffer),
+            categories=self.categories,
+            limit=self.limit,
+            emitted=self.emitted,
+        )
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracer(categories={','.join(self.categories)}, "
+            f"{len(self._buffer)}/{self.limit} retained, {self.emitted} emitted)"
+        )
+
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_TRACE_LIMIT",
+    "TraceLog",
+    "Tracer",
+]

@@ -46,7 +46,7 @@ class TunnelEndpoint:
         self.leaf_id = leaf_id
         self.num_uplinks = num_uplinks
         self.params = params
-        self.to_leaf_table = CongestionToLeafTable(sim, num_uplinks, params)
+        self.to_leaf_table = CongestionToLeafTable(sim, num_uplinks, params, owner=leaf_id)
         self.from_leaf_table = CongestionFromLeafTable(num_uplinks)
         self.encapsulated = 0
         self.decapsulated = 0

@@ -258,12 +258,156 @@ def write_bench_file(
     return payload
 
 
+# -- observability overhead ---------------------------------------------------
+
+#: The bench spec the trace-overhead harness reuses as its workload.
+TRACE_OVERHEAD_SPEC = "fct-conga-enterprise"
+
+#: Maximum tolerated slowdown of the tracing-disabled hot path relative to
+#: the committed pre-observability baseline (fractional: 0.03 == 3%).
+DISABLED_OVERHEAD_TOLERANCE = 0.03
+
+
+@dataclass(frozen=True)
+class TraceOverheadResult:
+    """Cost of the observability plane on the kernel's hot paths.
+
+    ``untraced_*`` measures the *disabled* path — ``sim.tracer is None``,
+    so every instrumentation site reduces to one attribute load and a
+    predicate.  ``traced_*`` measures a full-category trace of the same
+    spec.  Both runs must be behaviourally identical (same records
+    digest); ``identical`` records that check so callers can assert on it
+    without recomputing.
+    """
+
+    events_executed: int
+    repeats: int
+    untraced_events_per_sec: float
+    traced_events_per_sec: float
+    untraced_digest: str
+    traced_digest: str
+    trace_events_emitted: int
+
+    @property
+    def identical(self) -> bool:
+        """True when traced and untraced runs produced identical records."""
+        return self.untraced_digest == self.traced_digest
+
+    @property
+    def traced_slowdown_percent(self) -> float:
+        """How much slower the fully-traced run was, in percent."""
+        if self.traced_events_per_sec <= 0:
+            return 0.0
+        return 100.0 * (
+            self.untraced_events_per_sec / self.traced_events_per_sec - 1.0
+        )
+
+    def row(self) -> str:
+        """One aligned human-readable report line."""
+        return (
+            f"  trace-overhead           untraced "
+            f"{self.untraced_events_per_sec / 1e3:>8.0f}k ev/s  traced "
+            f"{self.traced_events_per_sec / 1e3:>8.0f}k ev/s  "
+            f"(+{self.traced_slowdown_percent:.1f}% when on)  "
+            f"identical={self.identical}"
+        )
+
+
+def run_trace_overhead(*, quick: bool = False, repeats: int = 3) -> TraceOverheadResult:
+    """Measure the cost of tracing on the canonical CONGA FCT spec.
+
+    Runs the :data:`TRACE_OVERHEAD_SPEC` point ``repeats`` times with the
+    tracer absent and ``repeats`` times with every category enabled,
+    alternating to spread thermal/cache drift across both arms, and keeps
+    the best (highest events/sec) run of each — best-of is the standard
+    microbenchmark estimator for "the code's speed absent interference".
+
+    ``quick=True`` shrinks the spec for fast relative (traced vs
+    untraced) checks, but its events/sec are dominated by fabric setup
+    and must not be compared against the committed full-scale baseline —
+    :func:`assert_disabled_overhead` needs a ``quick=False`` result.
+    """
+    from repro.analysis.fct import records_digest
+    from repro.apps import ExperimentSpec, ObsSpec
+
+    base = ExperimentSpec(
+        scheme="conga",
+        workload="enterprise",
+        load=0.7,
+        seed=42,
+        num_flows=60 if quick else 400,
+        size_scale=0.05,
+    )
+    traced_spec = base.with_(obs=ObsSpec())
+    best: dict[bool, float] = {False: 0.0, True: 0.0}
+    digests: dict[bool, str] = {}
+    events = 0
+    emitted = 0
+    for _ in range(max(1, repeats)):
+        for traced in (False, True):
+            point = (traced_spec if traced else base).run()
+            best[traced] = max(best[traced], point.events_per_sec)
+            digests[traced] = records_digest(list(point.records))
+            events = point.events_executed
+            if traced and point.trace is not None:
+                emitted = point.trace.emitted
+    return TraceOverheadResult(
+        events_executed=events,
+        repeats=max(1, repeats),
+        untraced_events_per_sec=best[False],
+        traced_events_per_sec=best[True],
+        untraced_digest=digests[False],
+        traced_digest=digests[True],
+        trace_events_emitted=emitted,
+    )
+
+
+def assert_disabled_overhead(
+    result: TraceOverheadResult,
+    *,
+    bench_path: str | Path = BENCH_FILENAME,
+    tolerance: float = DISABLED_OVERHEAD_TOLERANCE,
+) -> float:
+    """Assert the tracing-disabled kernel kept its pre-observability speed.
+
+    Compares ``result.untraced_events_per_sec`` against the committed
+    ``baseline`` entry for :data:`TRACE_OVERHEAD_SPEC` in the benchmark
+    file: the disabled path must stay within ``tolerance`` (default 3%)
+    of that floor.  Returns the measured ratio (>= 1.0 means faster than
+    baseline).  Raises :class:`AssertionError` on regression and
+    :class:`ValueError` when no baseline exists to compare against.
+    """
+    payload = load_bench_file(bench_path)
+    baseline = (payload or {}).get("baseline", {}).get(TRACE_OVERHEAD_SPEC)
+    if not baseline or not baseline.get("events_per_sec"):
+        raise ValueError(
+            f"no {TRACE_OVERHEAD_SPEC!r} baseline in {bench_path}; "
+            "run `conga-repro bench --set-baseline` first"
+        )
+    floor = float(baseline["events_per_sec"]) * (1.0 - tolerance)
+    ratio = result.untraced_events_per_sec / float(baseline["events_per_sec"])
+    if result.untraced_events_per_sec < floor:
+        raise AssertionError(
+            f"tracing-disabled kernel regressed: "
+            f"{result.untraced_events_per_sec:,.0f} ev/s is below "
+            f"{floor:,.0f} ev/s "
+            f"({100 * (1 - tolerance):.0f}% of the "
+            f"{float(baseline['events_per_sec']):,.0f} ev/s baseline)"
+        )
+    return ratio
+
+
 __all__ = [
     "BENCH_FILENAME",
     "BENCH_SCHEMA",
     "BENCH_SPECS",
+    "DISABLED_OVERHEAD_TOLERANCE",
+    "TRACE_OVERHEAD_SPEC",
     "BenchResult",
+    "TraceOverheadResult",
+    "assert_disabled_overhead",
     "load_bench_file",
     "run_bench",
+    "run_trace_overhead",
     "write_bench_file",
 ]

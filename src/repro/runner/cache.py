@@ -10,6 +10,12 @@ misses by construction.
 Writes are atomic (tmp file + ``os.replace``) so a crashed or interrupted
 sweep never leaves a half-written entry behind; unreadable entries are
 treated as misses and deleted.
+
+Every stored entry gets a sibling ``<hash>.manifest.json`` provenance
+record (see :mod:`repro.obs.manifest`): spec hash, seed, faults, git SHA,
+package version, wall/sim time, and the run's metrics summary — so any
+cached number can be audited without unpickling anything.  Manifests are
+best-effort: a failure writing one never fails the sweep.
 """
 
 from __future__ import annotations
@@ -77,6 +83,13 @@ class ResultCache:
             # and the tmp file is removed here so crashed sweeps don't litter.
             tmp.unlink(missing_ok=True)
             raise
+        try:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(result, self.root, path.stem)
+        except Exception:
+            # Manifests are provenance sugar; the pickle is the entry.
+            pass
         return path
 
     def clear(self) -> int:
@@ -93,6 +106,8 @@ class ResultCache:
                 removed += 1
             for stale in self.root.glob("*.tmp.*"):
                 stale.unlink(missing_ok=True)
+            for manifest in self.root.glob("*.manifest.json"):
+                manifest.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:

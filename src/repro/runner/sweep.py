@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.apps.spec import ExperimentSpec, PointResult
 from repro.net.hashing import stable_string_seed
+from repro.obs.metrics import MetricsRegistry, MetricsReport
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.failures import PointFailure
 
@@ -113,6 +114,10 @@ class SweepResult:
     executed: int
     cached: int
     wall_seconds: float
+    #: Sweep-runner accounting under ``sweep.*`` dotted names (cache hits,
+    #: retries, timeouts, crashes, pool rebuilds, ...); None only for the
+    #: degenerate empty sweep.
+    metrics: MetricsReport | None = None
 
     def __iter__(self):
         return iter(self.points)
@@ -240,6 +245,7 @@ class _PoolDispatcher:
         max_rebuilds: int,
         finish: Callable[[int, PointResult], None],
         fail: Callable[[int, PointFailure], None],
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.specs = specs
         self.queue: deque[int] = deque(misses)
@@ -251,6 +257,7 @@ class _PoolDispatcher:
         self.max_rebuilds = max_rebuilds
         self.finish = finish
         self.fail = fail
+        self.metrics = metrics
         self.failures: dict[int, int] = dict.fromkeys(misses, 0)
         self.spent: dict[int, float] = dict.fromkeys(misses, 0.0)
         self.suspects: list[int] = []
@@ -277,9 +284,13 @@ class _PoolDispatcher:
     def _charge(self, index: int, kind: str, error: str) -> bool:
         """Charge one failed attempt; True if the point may retry."""
         self.failures[index] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"sweep.{kind}s").value += 1
         if self.failures[index] > self.retries:
             self._point_failure(index, kind, error)
             return False
+        if self.metrics is not None:
+            self.metrics.counter("sweep.retries").value += 1
         _backoff(self.retry_backoff, self.failures[index])
         return True
 
@@ -339,6 +350,8 @@ class _PoolDispatcher:
         """Replace a dead pool; False means we fell back to inline."""
         self._drop_pool(terminate)
         self.rebuilds += 1
+        if self.metrics is not None:
+            self.metrics.counter("sweep.pool_rebuilds").value += 1
         if self.rebuilds > self.max_rebuilds or not self._build_pool():
             self._drain_inline()
             return False
@@ -541,7 +554,11 @@ class _PoolDispatcher:
 
 
 def _run_inline(
-    spec: ExperimentSpec, *, retries: int, retry_backoff: float
+    spec: ExperimentSpec,
+    *,
+    retries: int,
+    retry_backoff: float,
+    metrics: MetricsRegistry | None = None,
 ) -> PointResult | PointFailure:
     """Run one spec in this process with exception retries.
 
@@ -556,6 +573,8 @@ def _run_inline(
             return _execute_point(spec)
         except Exception as exc:
             failure_count += 1
+            if metrics is not None:
+                metrics.counter("sweep.exceptions").value += 1
             if failure_count > max(0, retries):
                 return PointFailure(
                     spec=spec,
@@ -564,6 +583,8 @@ def _run_inline(
                     attempts=failure_count,
                     wall_seconds=perf_counter() - started,  # repro-lint: ignore[D101] -- reporting only
                 )
+            if metrics is not None:
+                metrics.counter("sweep.retries").value += 1
             _backoff(retry_backoff, failure_count)
 
 
@@ -630,6 +651,7 @@ def run_sweep(
         workers = os.cpu_count() or 1
     started = perf_counter()  # repro-lint: ignore[D101] -- sweep wall time, reporting only
     total = len(specs)
+    registry = MetricsRegistry()
 
     results: list[PointResult | PointFailure | None] = [None] * total
     misses: list[int] = []
@@ -663,7 +685,10 @@ def run_sweep(
     if misses and workers <= 1:
         for index in misses:
             outcome = _run_inline(
-                specs[index], retries=retries, retry_backoff=retry_backoff
+                specs[index],
+                retries=retries,
+                retry_backoff=retry_backoff,
+                metrics=registry,
             )
             if isinstance(outcome, PointFailure):
                 fail(index, outcome)
@@ -684,17 +709,28 @@ def run_sweep(
             max_rebuilds=max_executor_rebuilds,
             finish=finish,
             fail=fail,
+            metrics=registry,
         ).run()
 
     for index, first in duplicates.items():
         results[index] = results[first]
 
     executed = len(misses)
+    wall = perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
+    registry.counter("sweep.points").value = total
+    registry.counter("sweep.executed").value = executed
+    registry.counter("sweep.cache_hits").value = total - executed - len(duplicates)
+    registry.counter("sweep.duplicates").value = len(duplicates)
+    registry.counter("sweep.failures").value = sum(
+        1 for point in results if isinstance(point, PointFailure)
+    )
+    registry.gauge("sweep.wall_seconds").set(wall)
     return SweepResult(
         points=tuple(results),  # type: ignore[arg-type]
         executed=executed,
         cached=total - executed - len(duplicates),
-        wall_seconds=perf_counter() - started,  # repro-lint: ignore[D101] -- reporting only
+        wall_seconds=wall,
+        metrics=registry.snapshot(),
     )
 
 

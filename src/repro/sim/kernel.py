@@ -31,11 +31,15 @@ from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.units import SECOND
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 Callback = Callable[[], None]
 
@@ -105,13 +109,47 @@ class Simulator:
         self._rngs: dict[str, np.random.Generator] = {}
         self._stopped = False
         self._compact_at = _COMPACT_FLOOR
-        #: Perf counters: total events executed, wall-clock seconds spent
-        #: inside :meth:`run`, and lazy-cancel heap compactions performed.
-        #: Reporting only — they never influence the simulation itself, so
-        #: determinism is unaffected.
-        self.events_executed = 0
-        self.wall_seconds = 0.0
-        self.heap_compactions = 0
+        #: Per-run metrics registry.  The kernel's own perf counters live
+        #: here under ``kernel.*`` names; components add theirs at snapshot
+        #: time.  Reporting only — metrics never influence the simulation
+        #: itself, so determinism is unaffected.
+        self.metrics = MetricsRegistry()
+        self._events_counter = self.metrics.counter("kernel.events_executed")
+        self._wall_counter = self.metrics.counter("kernel.wall_seconds")
+        self._compact_counter = self.metrics.counter("kernel.heap_compactions")
+        #: Structured trace sink (see :mod:`repro.obs`).  ``None`` — the
+        #: default — is the zero-overhead disabled state: instrumented hot
+        #: paths gate every emission on ``sim.tracer is not None``.
+        self.tracer: "Tracer | None" = None
+
+    # -- perf counters (aliases over the kernel.* registry cells) ------------
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed across all :meth:`run` calls."""
+        return int(self._events_counter.value)
+
+    @events_executed.setter
+    def events_executed(self, value: int) -> None:
+        self._events_counter.value = value
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent inside :meth:`run` so far."""
+        return float(self._wall_counter.value)
+
+    @wall_seconds.setter
+    def wall_seconds(self, value: float) -> None:
+        self._wall_counter.value = value
+
+    @property
+    def heap_compactions(self) -> int:
+        """Lazy-cancel heap compactions performed so far."""
+        return int(self._compact_counter.value)
+
+    @heap_compactions.setter
+    def heap_compactions(self, value: int) -> None:
+        self._compact_counter.value = value
 
     # -- time ---------------------------------------------------------------
 
@@ -222,7 +260,7 @@ class Simulator:
             # local alias to the heap list, so the list object must survive.
             heap[:] = live
             heapq.heapify(heap)
-            self.heap_compactions += 1
+            self._compact_counter.value += 1
         self._compact_at = max(_COMPACT_FLOOR, 2 * len(heap))
 
     # -- execution -----------------------------------------------------------
@@ -264,8 +302,8 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
         finally:
-            self.events_executed += executed
-            self.wall_seconds += perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
+            self._events_counter.value += executed
+            self._wall_counter.value += perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
         if until is not None and not heap and self._now < until:
             self._now = until
         return self._now

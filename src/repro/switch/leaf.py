@@ -94,7 +94,7 @@ class LeafSwitch(Node):
             rate_bps, queue_capacity, name=f"{self.name}.up{lbtag}->{spine.name}",
             ecn_threshold=ecn_threshold,
         )
-        dre = DRE(self.sim, rate_bps, self.params)
+        dre = DRE(self.sim, rate_bps, self.params, name=port.name)
         port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
         port.dre = dre  # so rate changes (Port.set_rate) retarget it
         self.uplinks.append(port)

@@ -59,7 +59,7 @@ class SpineSwitch(Node):
             rate_bps, queue_capacity, name=f"{self.name}->leaf{leaf_id}",
             ecn_threshold=ecn_threshold,
         )
-        dre = DRE(self.sim, rate_bps, self.params)
+        dre = DRE(self.sim, rate_bps, self.params, name=port.name)
         self.dres.append(dre)
         port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
         port.dre = dre  # so rate changes (Port.set_rate) retarget it

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.net.node import Host
 from repro.net.packet import Packet, ack_packet, data_packet
+from repro.obs.events import RtoFired, TcpStateChanged
 from repro.sim.kernel import Timer
 from repro.units import microseconds, milliseconds, seconds
 
@@ -356,6 +357,18 @@ class TcpSender:
                 self.cwnd = self.ssthresh
                 self.state = OPEN
                 self.dup_acks = 0
+                tracer = self.sim.tracer
+                if tracer is not None and tracer.tcp:
+                    tracer.emit(
+                        TcpStateChanged(
+                            time=self.sim.now,
+                            flow_id=self.flow_id,
+                            old_state=RECOVERY,
+                            new_state=OPEN,
+                            cwnd=self.cwnd,
+                            ssthresh=self.ssthresh,
+                        )
+                    )
             else:
                 # NewReno partial ACK: retransmit the next hole, deflate by
                 # the amount acked, re-inflate by one MSS.
@@ -396,6 +409,18 @@ class TcpSender:
         self.cwnd = self.ssthresh + self.params.dupack_threshold * mss
         self.state = RECOVERY
         self.stats.fast_retransmits += 1
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.tcp:
+            tracer.emit(
+                TcpStateChanged(
+                    time=self.sim.now,
+                    flow_id=self.flow_id,
+                    old_state=OPEN,
+                    new_state=RECOVERY,
+                    cwnd=self.cwnd,
+                    ssthresh=self.ssthresh,
+                )
+            )
         self.cc.on_loss(self)
         self._send_segment(
             self.snd_una, min(mss, self.snd_nxt - self.snd_una), retransmit=True
@@ -408,6 +433,8 @@ class TcpSender:
         if self.finished or self.inflight == 0:
             return
         mss = self.params.mss
+        old_state = self.state
+        inflight = self.inflight
         self.ssthresh = max(self.inflight / 2.0, 2.0 * mss)
         self.cwnd = float(mss)
         self.state = OPEN
@@ -416,6 +443,28 @@ class TcpSender:
         self.stats.timeouts += 1
         self._backoff = min(self._backoff * 2, 64)
         self.cc.on_loss(self)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.tcp:
+            tracer.emit(
+                RtoFired(
+                    time=self.sim.now,
+                    flow_id=self.flow_id,
+                    rto=self.rto,
+                    backoff=self._backoff,
+                    inflight=inflight,
+                )
+            )
+            if old_state != OPEN:
+                tracer.emit(
+                    TcpStateChanged(
+                        time=self.sim.now,
+                        flow_id=self.flow_id,
+                        old_state=old_state,
+                        new_state=OPEN,
+                        cwnd=self.cwnd,
+                        ssthresh=self.ssthresh,
+                    )
+                )
         self._try_send()
         self._rto_timer.start(min(self.rto * self._backoff, self.params.max_rto))
 

@@ -284,6 +284,53 @@ def test_s203_allows_register_scheme():
 
 
 # ---------------------------------------------------------------------------
+# R301 — print / logging on simulator code paths
+# ---------------------------------------------------------------------------
+
+
+def test_r301_flags_print_and_logging():
+    violations = lint_snippet(
+        "import logging\n"
+        "def report(x):\n"
+        "    print(x)\n",
+        path="repro/transport/snippet.py",
+    )
+    assert rule_ids(violations) == ["R301", "R301"]
+    assert [violation.line for violation in violations] == [1, 3]
+
+
+def test_r301_flags_from_logging_import():
+    violations = lint_snippet(
+        "from logging import getLogger\n",
+        path="repro/core/snippet.py",
+    )
+    assert rule_ids(violations) == ["R301"]
+
+
+def test_r301_allows_traced_emission_and_shadowed_print():
+    assert lint_snippet(
+        "def run(self):\n"
+        "    tracer = self.sim.tracer\n"
+        "    if tracer is not None and tracer.flowlet:\n"
+        "        tracer.emit(event)\n"
+    ) == []
+    assert lint_snippet(
+        "def print(x):\n"
+        "    return x\n"
+        "def use():\n"
+        "    return print(1)\n"
+    ) == []
+
+
+def test_r301_not_applied_outside_scoped_packages():
+    assert lint_snippet(
+        "def report(x):\n"
+        "    print(x)\n",
+        path="repro/analysis/snippet.py",
+    ) == []
+
+
+# ---------------------------------------------------------------------------
 # E001 + suppressions + scoping machinery
 # ---------------------------------------------------------------------------
 
@@ -344,7 +391,8 @@ def test_get_rules_select_and_unknown():
 def test_rule_catalog_metadata_complete():
     ids = [rule.rule_id for rule in ALL_RULES]
     assert ids == sorted(ids) == [
-        "D101", "D102", "D103", "D104", "D105", "S201", "S202", "S203",
+        "D101", "D102", "D103", "D104", "D105", "R301", "S201", "S202",
+        "S203",
     ]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale and rule.paper_ref
