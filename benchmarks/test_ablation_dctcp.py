@@ -48,7 +48,7 @@ def _fct_comparison():
     results = {}
     for scheme, ecn in (("conga", None), ("conga-dctcp", K)):
         # conga-dctcp is registered only in this process: run serially.
-        point = ExperimentSpec(
+        point = ExperimentSpec(  # repro-lint: ignore[S204] -- dynamic scheme exists only in-process; pool workers and the cache cannot resolve it
             scheme=scheme,
             workload="enterprise",
             load=0.6,

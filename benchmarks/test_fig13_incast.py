@@ -17,23 +17,31 @@ collapse threshold shifts with MTU); the jumbo-frame collapse and the
 minRTO interplay reproduce clearly.
 """
 
+from pathlib import Path
+
+import pytest
 from conftest import report
 
 from repro.apps import IncastClient, mptcp_flow_factory, tcp_flow_factory
 from repro.lb import CongaSelector, EcmpSelector
 from repro.sim import Simulator
-from repro.topology import build_leaf_spine, scaled_testbed
+from repro.topology import build_leaf_spine
 from repro.transport import TcpParams
 from repro.units import megabytes, milliseconds, seconds
 
-FAN_INS = [1, 7, 15, 31, 63]
+pytest.importorskip("yaml", reason="scenario files need PyYAML")
+from repro.scenarios import load_scenario  # noqa: E402  (after the gate)
+
+SCENARIO = load_scenario(
+    Path(__file__).resolve().parent.parent / "scenarios" / "fig13_incast.yaml"
+)
+PARAMS = SCENARIO.params
+FAN_INS = PARAMS["fan_ins"]
 
 
 def _one(transport: str, fan_in: int, min_rto_ms: int, mtu: int) -> float:
-    sim = Simulator(seed=1)
-    fabric = build_leaf_spine(
-        sim, scaled_testbed(hosts_per_leaf=32, host_queue_bytes=8_000_000)
-    )
+    sim = Simulator(seed=SCENARIO.template.seed)
+    fabric = build_leaf_spine(sim, SCENARIO.template.config)
     if transport == "tcp":
         fabric.finalize(CongaSelector.factory())
     else:
@@ -55,11 +63,11 @@ def _one(transport: str, fan_in: int, min_rto_ms: int, mtu: int) -> float:
         client=0,
         servers=servers,
         flow_factory=factory,
-        request_bytes=megabytes(10),
-        repeats=3,
+        request_bytes=megabytes(PARAMS["request_mb"]),
+        repeats=PARAMS["repeats"],
     )
     client.start()
-    sim.run(until=seconds(60))
+    sim.run(until=seconds(PARAMS["deadline_s"]))
     if not client.finished:
         return 0.0
     return client.result.throughput_percent(fabric.host(0).nic.rate_bps)
@@ -67,9 +75,9 @@ def _one(transport: str, fan_in: int, min_rto_ms: int, mtu: int) -> float:
 
 def _run():
     table = {}
-    for mtu in (1500, 9000):
-        for min_rto in (200, 1):
-            for transport in ("tcp", "mptcp"):
+    for mtu in PARAMS["mtus"]:
+        for min_rto in PARAMS["min_rtos_ms"]:
+            for transport in PARAMS["transports"]:
                 table[(mtu, min_rto, transport)] = [
                     _one(transport, fan_in, min_rto, mtu) for fan_in in FAN_INS
                 ]
@@ -78,7 +86,7 @@ def _run():
 
 def test_figure13_incast(benchmark):
     table = benchmark.pedantic(_run, rounds=1, iterations=1)
-    for mtu in (1500, 9000):
+    for mtu in PARAMS["mtus"]:
         report(
             f"Figure 13: Incast effective throughput %, MTU={mtu}",
             ["config"] + [f"N={n}" for n in FAN_INS],

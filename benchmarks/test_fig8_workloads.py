@@ -7,17 +7,34 @@ in data-mining those flows contribute only ~5% (95% of bytes belong to the
 ~3.6% of flows larger than 35 MB).
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 from conftest import report
 
 from repro.workloads import DATA_MINING, ENTERPRISE
 
+pytest.importorskip("yaml", reason="scenario files need PyYAML")
+from repro.scenarios import load_scenario  # noqa: E402  (after the gate)
+
+SCENARIO = load_scenario(
+    Path(__file__).resolve().parent.parent / "scenarios" / "fig8_workloads.yaml"
+)
+PIVOT_BYTES = SCENARIO.params["pivot_bytes"]
+
 
 def _run():
-    probes = np.logspace(2, 9, 15)
+    params = SCENARIO.params
+    probes = np.logspace(
+        params["probe_log10_min"],
+        params["probe_log10_max"],
+        params["probe_count"],
+    )
     table = {}
-    for dist in (ENTERPRISE, DATA_MINING):
+    from repro.apps import get_workload
+
+    for dist in (get_workload(name) for name in SCENARIO.workloads):
         flow_cdf = []
         byte_cdf = []
         for probe in probes:
@@ -48,11 +65,13 @@ def test_figure8_workload_distributions(benchmark):
         "5.2.1: byte share of flows below 35 MB",
         ["workload", "paper", "measured"],
         [
-            ["enterprise", "~50%", f"{ENTERPRISE.byte_fraction_below(35e6):.0%}"],
-            ["data-mining", "~5%", f"{DATA_MINING.byte_fraction_below(35e6):.0%}"],
+            ["enterprise", "~50%",
+             f"{ENTERPRISE.byte_fraction_below(PIVOT_BYTES):.0%}"],
+            ["data-mining", "~5%",
+             f"{DATA_MINING.byte_fraction_below(PIVOT_BYTES):.0%}"],
         ],
     )
-    assert ENTERPRISE.byte_fraction_below(35e6) == pytest.approx(0.5, abs=0.15)
-    assert DATA_MINING.byte_fraction_below(35e6) < 0.15
+    assert ENTERPRISE.byte_fraction_below(PIVOT_BYTES) == pytest.approx(0.5, abs=0.15)
+    assert DATA_MINING.byte_fraction_below(PIVOT_BYTES) < 0.15
     # Heavy tails: a small fraction of flows carries most bytes in both.
     assert DATA_MINING.coefficient_of_variation() > ENTERPRISE.coefficient_of_variation() * 0.9

@@ -13,30 +13,27 @@ Scaled run: 16 hosts, 2:1 oversubscription preserved, flow sizes scaled by
 """
 
 import math
+from pathlib import Path
 
+import pytest
 from conftest import report
 
 from repro.analysis import relative_to
-from repro.apps import ExperimentSpec
-from repro.runner import run_sweep, sweep_grid
+from repro.runner import run_sweep
 
-LOADS = [0.3, 0.5, 0.7, 0.9]
-SCHEMES = ["ecmp", "conga-flow", "conga", "mptcp"]
+pytest.importorskip("yaml", reason="scenario files need PyYAML")
+from repro.scenarios import load_scenario  # noqa: E402  (after the gate)
 
-TEMPLATE = ExperimentSpec(
-    scheme="ecmp",
-    workload="enterprise",
-    load=0.5,
-    num_flows=250,
-    size_scale=0.05,
-    seed=31,
+SCENARIO = load_scenario(
+    Path(__file__).resolve().parent.parent
+    / "scenarios" / "fig9_enterprise.yaml"
 )
+LOADS = list(SCENARIO.loads)
+SCHEMES = list(SCENARIO.schemes)
 
 
 def _run():
-    sweep = run_sweep(
-        sweep_grid(TEMPLATE, schemes=SCHEMES, loads=LOADS), cache=None
-    )
+    sweep = run_sweep(SCENARIO.compile(), cache=None)
     return {
         (p.scheme, p.load): p.summary for p in sweep
     }

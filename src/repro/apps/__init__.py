@@ -9,7 +9,6 @@ from repro.apps.experiment import (
     execute_experiment,
     get_scheme,
     register_scheme,
-    run_fct_experiment,
 )
 from repro.apps.hdfs import HdfsJobResult, HdfsWriteJob
 from repro.apps.incast import IncastClient, IncastResult
@@ -58,6 +57,5 @@ __all__ = [
     "get_workload",
     "mptcp_flow_factory",
     "register_scheme",
-    "run_fct_experiment",
     "tcp_flow_factory",
 ]

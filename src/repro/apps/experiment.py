@@ -18,7 +18,6 @@ definitions mirror §5's comparison set:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -195,9 +194,10 @@ def execute_experiment(
 ) -> ExperimentResult:
     """Run one experiment point against a resolved :class:`SchemeSpec`.
 
-    This is the single execution path under both the declarative
-    :class:`repro.apps.spec.ExperimentSpec` API and the deprecated
-    :func:`run_fct_experiment` kwarg pile.
+    This is the single execution path under the declarative
+    :class:`repro.apps.spec.ExperimentSpec` API; call it directly when a
+    test needs live ``Simulator``/``Fabric`` access or callable monitor
+    hooks that the picklable spec cannot carry.
 
     ``failed_links`` is a list of (leaf_id, spine_id, which) tuples failed
     before traffic starts — e.g. ``[(1, 1, 0)]`` reproduces Figure 7(b).
@@ -280,34 +280,6 @@ def execute_experiment(
     )
 
 
-def run_fct_experiment(
-    scheme: str,
-    workload: FlowSizeDistribution,
-    load: float,
-    **kwargs,
-) -> ExperimentResult:
-    """Deprecated shim: run one experiment point from a scheme *name*.
-
-    .. deprecated::
-        Prefer the declarative, serializable API::
-
-            from repro.apps import ExperimentSpec
-            PointResult = ExperimentSpec("conga", "data-mining", 0.6).run()
-
-        which can be fanned out and cached by :func:`repro.runner.run_sweep`.
-        This wrapper remains for callers that need live ``Simulator``/
-        ``Fabric`` access or callable monitor hooks, and accepts the same
-        13-kwarg pile it always did.
-    """
-    warnings.warn(
-        "run_fct_experiment is deprecated; build an ExperimentSpec and use "
-        "spec.run() or repro.runner.run_sweep (see EXPERIMENTS.md)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return execute_experiment(get_scheme(scheme), workload, load, **kwargs)
-
-
 def compare_schemes(
     schemes: list[str],
     workload: FlowSizeDistribution,
@@ -330,5 +302,4 @@ __all__ = [
     "execute_experiment",
     "get_scheme",
     "register_scheme",
-    "run_fct_experiment",
 ]

@@ -1,9 +1,11 @@
 """Declarative experiment specifications (the sweep-able experiment API).
 
-:func:`repro.apps.run_fct_experiment` grew a 13-kwarg signature whose
-callable arguments (``monitor_queue_ports``, flow factories hidden inside
-:class:`SchemeSpec`) cannot cross a process boundary or be hashed for
-caching.  This module replaces that surface with value objects:
+The original ``run_fct_experiment`` entry point (removed; see
+:func:`repro.apps.execute_experiment` for the low-level path) grew a
+13-kwarg signature whose callable arguments (``monitor_queue_ports``, flow
+factories hidden inside :class:`SchemeSpec`) cannot cross a process
+boundary or be hashed for caching.  This module replaces that surface with
+value objects:
 
 * :class:`ExperimentSpec` — a frozen, fully picklable description of one
   experiment point.  Schemes and workloads are referenced by registry

@@ -7,13 +7,20 @@ Examples::
     conga-repro fct --scheme conga --fault link_down@0.1s:l1-s1 \\
         --fault link_up@1.5s:l1-s1
     conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
-    conga-repro sweep --schemes ecmp,conga --fault random_downs@0=9
+    conga-repro sweep --scenario scenarios/fig9_enterprise.yaml
+    conga-repro scenario validate scenarios/*.yaml
+    conga-repro scenario run scenarios/tiny_smoke.yaml --backend subprocess
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
     conga-repro bench --quick
     conga-repro lint src --format json
     conga-repro poa
 
 (Equivalently: ``python -m repro.cli ...``.)
+
+The ``fct``/``sweep``/``trace``/``metrics`` commands share one spec
+loader: every one of them accepts either point flags or
+``--scenario file.yaml``, and the single-point commands require the
+scenario to compile to exactly one point.
 """
 
 from __future__ import annotations
@@ -23,6 +30,14 @@ import sys
 
 from repro.units import megabytes, milliseconds, seconds, to_milliseconds
 from repro.workloads import WORKLOADS
+
+
+class _CliError(Exception):
+    """A user-facing CLI failure: printed to stderr, exits with ``code``."""
+
+    def __init__(self, message: str, code: int = 2) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def _parse_failed_links(values: list[str] | None) -> list[tuple[int, int, int]]:
@@ -39,11 +54,36 @@ def _parse_faults(values: list[str] | None) -> tuple:
     return tuple(parse_fault(text) for text in values or [])
 
 
-def _cmd_fct(args: argparse.Namespace) -> int:
-    from repro.apps import ExperimentSpec
-    from repro.faults import fault_window
+def _load_scenario(path: str):
+    """Load a scenario file, converting loader errors to CLI errors."""
+    from repro.scenarios import ScenarioError, load_scenario
 
-    spec = ExperimentSpec(
+    try:
+        return load_scenario(path)
+    except ScenarioError as exc:
+        raise _CliError(str(exc)) from exc
+
+
+def _resolve_point_spec(args: argparse.Namespace):
+    """The shared spec loader behind fct/trace/metrics.
+
+    Builds one :class:`ExperimentSpec` either from the point flags or —
+    when ``--scenario`` is given — by compiling the scenario file, which
+    must then describe exactly one point.
+    """
+    from repro.apps import ExperimentSpec
+
+    if getattr(args, "scenario", None):
+        scenario = _load_scenario(args.scenario)
+        specs = scenario.compile()
+        if len(specs) != 1:
+            raise _CliError(
+                f"scenario {scenario.name!r} compiles to {len(specs)} points; "
+                "this command needs exactly one (use 'sweep --scenario' or "
+                "'scenario run' for grids)"
+            )
+        return specs[0]
+    return ExperimentSpec(
         scheme=args.scheme,
         workload=args.workload,
         load=args.load,
@@ -53,9 +93,64 @@ def _cmd_fct(args: argparse.Namespace) -> int:
         failed_links=_parse_failed_links(args.fail_link),
         faults=_parse_faults(args.fault),
     )
+
+
+def _resolve_sweep_specs(args: argparse.Namespace):
+    """The shared grid loader behind sweep: flags or a scenario file.
+
+    Returns ``(title, specs)``; scheme names are resolved before any
+    point executes so typos fail fast.
+    """
+    from repro.apps import ExperimentSpec, UnknownSchemeError, get_scheme
+    from repro.runner import sweep_grid
+
+    if getattr(args, "scenario", None):
+        scenario = _load_scenario(args.scenario)
+        return scenario.name, scenario.compile()
+
+    schemes = [s.strip() for s in args.schemes.split(",")]
+    try:
+        for name in schemes:  # fail fast, before any point executes
+            get_scheme(name)
+    except UnknownSchemeError as exc:
+        raise _CliError(str(exc)) from exc
+
+    template = ExperimentSpec(
+        scheme="ecmp",  # placeholder; the grid overwrites scheme/load/seed
+        workload=args.workload,
+        load=0.6,
+        num_flows=args.flows,
+        size_scale=args.size_scale,
+        faults=_parse_faults(args.fault),
+    )
+    specs = sweep_grid(
+        template,
+        schemes=schemes,
+        loads=[float(x) for x in args.loads.split(",")],
+        seeds=[int(x) for x in args.seeds.split(",")],
+    )
+    return f"{args.workload}, {args.flows} flows/point", specs
+
+
+def _make_backend(args: argparse.Namespace):
+    """An explicit Backend for ``--backend subprocess``, else None (local)."""
+    if getattr(args, "backend", "local") != "subprocess":
+        return None
+    from repro.runner import SubprocessBackend
+
+    return SubprocessBackend(
+        workers=args.workers if args.workers else 2,
+        retries=args.retries,
+    )
+
+
+def _cmd_fct(args: argparse.Namespace) -> int:
+    from repro.faults import fault_window
+
+    spec = _resolve_point_spec(args)
     result = spec.run()
     summary = result.summary
-    print(f"scheme={args.scheme} workload={args.workload} load={args.load:g}")
+    print(f"scheme={spec.scheme} workload={spec.workload} load={spec.load:g}")
     print(f"  flows completed:        {result.completed}/{result.arrivals}")
     print(f"  mean FCT (normalized):  {summary.mean_normalized:.2f}")
     print(f"  p95  FCT (normalized):  {summary.p95_normalized:.2f}")
@@ -83,41 +178,10 @@ def _cmd_fct(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _print_sweep_table(title: str, sweep) -> None:
     from repro.analysis import print_table
-    from repro.apps import ExperimentSpec, UnknownSchemeError, get_scheme
-    from repro.runner import PointFailure, run_sweep, sweep_grid
+    from repro.runner import PointFailure
 
-    schemes = [s.strip() for s in args.schemes.split(",")]
-    try:
-        for name in schemes:  # fail fast, before any point executes
-            get_scheme(name)
-    except UnknownSchemeError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-
-    template = ExperimentSpec(
-        scheme="ecmp",  # placeholder; the grid overwrites scheme/load/seed
-        workload=args.workload,
-        load=0.6,
-        num_flows=args.flows,
-        size_scale=args.size_scale,
-        faults=_parse_faults(args.fault),
-    )
-    specs = sweep_grid(
-        template,
-        schemes=schemes,
-        loads=[float(x) for x in args.loads.split(",")],
-        seeds=[int(x) for x in args.seeds.split(",")],
-    )
-    sweep = run_sweep(
-        specs,
-        workers=args.workers,
-        cache=None if args.no_cache else args.cache_dir,
-        progress=print if args.verbose else None,
-        timeout=args.timeout,
-        retries=args.retries,
-    )
     rows = []
     for p in sweep:
         if isinstance(p, PointFailure):
@@ -138,7 +202,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
     print_table(
-        f"sweep: {args.workload}, {args.flows} flows/point",
+        f"sweep: {title}",
         ["scheme", "load", "seed", "mean FCT", "p99 FCT", "done", "source"],
         rows,
     )
@@ -153,33 +217,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"after {failure.attempts} attempt(s): {failure.error}",
             file=sys.stderr,
         )
+
+
+def _run_and_report(title: str, specs, args: argparse.Namespace) -> int:
+    from repro.runner import run_sweep
+
+    sweep = run_sweep(
+        specs,
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache_dir,
+        progress=print if args.verbose else None,
+        timeout=args.timeout,
+        retries=args.retries,
+        backend=_make_backend(args),
+    )
+    _print_sweep_table(title, sweep)
     return 1 if sweep.failures else 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.apps import ExperimentSpec, ObsSpec
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    title, specs = _resolve_sweep_specs(args)
+    return _run_and_report(title, specs, args)
 
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps import ObsSpec
+
+    spec = _resolve_point_spec(args)
     obs_kwargs: dict = {}
     if args.categories is not None:
         obs_kwargs["categories"] = args.categories
     if args.limit is not None:
         obs_kwargs["buffer_limit"] = args.limit
-    try:
-        obs = ObsSpec(**obs_kwargs)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    spec = ExperimentSpec(
-        scheme=args.scheme,
-        workload=args.workload,
-        load=args.load,
-        num_flows=args.flows,
-        size_scale=args.size_scale,
-        seed=args.seed,
-        failed_links=_parse_failed_links(args.fail_link),
-        faults=_parse_faults(args.fault),
-        obs=obs,
-    )
+    if obs_kwargs or spec.obs is None:
+        try:
+            spec = spec.with_(obs=ObsSpec(**obs_kwargs))
+        except ValueError as exc:
+            raise _CliError(str(exc)) from exc
     result = spec.run()
     trace = result.trace
     assert trace is not None  # the spec carried an ObsSpec
@@ -204,24 +278,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from repro.apps import ExperimentSpec, ImbalanceMonitorSpec
+    from repro.apps import ImbalanceMonitorSpec
 
-    imbalance = (
-        ImbalanceMonitorSpec(leaf=args.imbalance_leaf)
-        if args.imbalance_leaf is not None
-        else None
-    )
-    spec = ExperimentSpec(
-        scheme=args.scheme,
-        workload=args.workload,
-        load=args.load,
-        num_flows=args.flows,
-        size_scale=args.size_scale,
-        seed=args.seed,
-        failed_links=_parse_failed_links(args.fail_link),
-        faults=_parse_faults(args.fault),
-        imbalance_monitor=imbalance,
-    )
+    spec = _resolve_point_spec(args)
+    if args.imbalance_leaf is not None:
+        spec = spec.with_(
+            imbalance_monitor=ImbalanceMonitorSpec(leaf=args.imbalance_leaf)
+        )
     result = spec.run()
     report = result.metrics
     assert report is not None  # fresh runs always carry a report
@@ -229,6 +292,220 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     for line in report.lines(args.select):
         print(f"  {line}")
     return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioError, load_scenario
+
+    failed = False
+    for path in args.files:
+        try:
+            scenario = load_scenario(path)
+            first = scenario.grid_digest()
+            if first != scenario.grid_digest():
+                raise ScenarioError(
+                    "grid digest is unstable across compilations",
+                    source=str(path),
+                )
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        print(
+            f"ok {path}: {scenario.name} "
+            f"({scenario.point_count()} points, grid digest {first[:12]})"
+        )
+    return 2 if failed else 0
+
+
+def _cmd_scenario_compile(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.file)
+    print(f"scenario: {scenario.name}")
+    if scenario.description:
+        print(f"  {scenario.description}")
+    specs = scenario.compile()
+    for spec in specs:
+        print(f"  {spec.content_hash()[:16]}  {spec.label()}")
+    print(f"{len(specs)} points, grid digest {scenario.grid_digest()[:16]}, "
+          f"scenario hash {scenario.content_hash()[:16]}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args.file)
+    return _run_and_report(scenario.name, scenario.compile(), args)
+
+
+def _add_point_arguments(
+    cmd: argparse.ArgumentParser, *, positional_scheme: bool = False
+) -> None:
+    """The shared single-point argument set (fct/trace/metrics)."""
+    from repro.apps.experiment import SCHEMES
+
+    if positional_scheme:
+        cmd.add_argument("scheme", nargs="?", default="conga",
+                         choices=sorted(SCHEMES))
+    else:
+        cmd.add_argument("--scheme", default="conga", choices=sorted(SCHEMES))
+    cmd.add_argument("--workload", default="enterprise",
+                     choices=sorted(WORKLOADS))
+    cmd.add_argument("--load", type=float, default=0.6)
+    cmd.add_argument("--flows", type=int, default=200)
+    cmd.add_argument("--size-scale", type=float, default=0.05)
+    cmd.add_argument("--seed", type=int, default=1)
+    cmd.add_argument("--fail-link", action="append",
+                     metavar="LEAF,SPINE,WHICH",
+                     help="fail a leaf-spine link (repeatable)")
+    cmd.add_argument("--fault", action="append", metavar="FAULT",
+                     help="schedule a fault event, e.g. link_down@0.1s:l0-s1, "
+                          "link_degrade@5ms:l1-s0=0.25, blackout@1ms:spine1+2ms "
+                          "(repeatable; see repro.faults.parse_fault)")
+    cmd.add_argument("--scenario", default=None, metavar="FILE",
+                     help="load the point from a scenario YAML instead of "
+                          "flags (must compile to exactly one point)")
+
+
+def _add_sweep_run_arguments(cmd: argparse.ArgumentParser) -> None:
+    """Execution knobs shared by ``sweep`` and ``scenario run``."""
+    from repro.runner import BACKENDS, DEFAULT_CACHE_DIR
+
+    cmd.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: one per CPU for the "
+                          "local backend, 2 for subprocess; 0 = serial)")
+    cmd.add_argument("--backend", default="local", choices=sorted(BACKENDS),
+                     help="execution backend: in-process pool or worker "
+                          "subprocesses over a stdin/stdout JSON protocol")
+    cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="always execute, never read or write the cache")
+    cmd.add_argument("--verbose", action="store_true",
+                     help="print per-point timing as results arrive")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     help="per-point wall-clock budget in seconds "
+                          "(local parallel backend only)")
+    cmd.add_argument("--retries", type=int, default=1,
+                     help="re-executions granted to a failing point "
+                          "(default 1); failures become table rows, "
+                          "not crashes")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="conga-repro",
+        description="CONGA (SIGCOMM 2014) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fct = sub.add_parser("fct", help="run one FCT experiment point")
+    _add_point_arguments(fct)
+    fct.set_defaults(func=_cmd_fct)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a cached, parallel scheme x load x seed sweep"
+    )
+    sweep.add_argument("--schemes", default="ecmp,conga",
+                       help="comma-separated scheme names")
+    sweep.add_argument("--workload", default="enterprise",
+                       choices=sorted(WORKLOADS))
+    sweep.add_argument("--loads", default="0.3,0.5,0.7",
+                       help="comma-separated offered loads")
+    sweep.add_argument("--seeds", default="1",
+                       help="comma-separated seeds (one point per seed)")
+    sweep.add_argument("--flows", type=int, default=200)
+    sweep.add_argument("--size-scale", type=float, default=0.05)
+    sweep.add_argument("--fault", action="append", metavar="FAULT",
+                       help="schedule a fault event on every point "
+                            "(repeatable; same grammar as fct --fault)")
+    sweep.add_argument("--scenario", default=None, metavar="FILE",
+                       help="compile the grid from a scenario YAML "
+                            "(overrides the template/grid flags above)")
+    _add_sweep_run_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    scenario = sub.add_parser(
+        "scenario", help="validate, compile, and run scenario YAML files"
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    validate = scen_sub.add_parser(
+        "validate", help="load and fully validate scenario files"
+    )
+    validate.add_argument("files", nargs="+", metavar="FILE")
+    validate.set_defaults(func=_cmd_scenario_validate)
+    compile_ = scen_sub.add_parser(
+        "compile", help="print a scenario's spec grid and content hashes"
+    )
+    compile_.add_argument("file", metavar="FILE")
+    compile_.set_defaults(func=_cmd_scenario_compile)
+    scen_run = scen_sub.add_parser(
+        "run", help="compile a scenario and run its grid as a sweep"
+    )
+    scen_run.add_argument("file", metavar="FILE")
+    _add_sweep_run_arguments(scen_run)
+    scen_run.set_defaults(func=_cmd_scenario_run)
+
+    incast = sub.add_parser("incast", help="run an Incast micro-benchmark")
+    incast.add_argument("--transport", default="tcp", choices=["tcp", "mptcp"])
+    incast.add_argument("--fan-in", type=int, default=31)
+    incast.add_argument("--min-rto-ms", type=int, default=200)
+    incast.add_argument("--mtu", type=int, default=1500, choices=[1500, 9000])
+    incast.add_argument("--repeats", type=int, default=3)
+    incast.add_argument("--seed", type=int, default=1)
+    incast.set_defaults(func=_cmd_incast)
+
+    bench = sub.add_parser(
+        "bench", help="run the tracked kernel performance benchmarks"
+    )
+    from repro.perf import BENCH_FILENAME
+
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller specs for CI smoke runs")
+    bench.add_argument("--specs", default=None,
+                       help="comma-separated subset of bench spec names")
+    bench.add_argument("--output", default=BENCH_FILENAME,
+                       help=f"benchmark file to update (default {BENCH_FILENAME})")
+    bench.add_argument("--set-baseline", action="store_true",
+                       help="freeze this run's numbers as the comparison baseline")
+    bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment point with structured tracing on"
+    )
+    _add_point_arguments(trace, positional_scheme=True)
+    trace.add_argument("--categories", default=None,
+                       help="comma-separated trace categories "
+                            "(default: all; see repro.obs.CATEGORIES)")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="trace ring-buffer capacity "
+                            "(oldest events drop beyond this)")
+    trace.add_argument("--format", default="ndjson",
+                       choices=["ndjson", "chrome"],
+                       help="ndjson (one event per line) or a Chrome "
+                            "trace_event JSON document for about://tracing")
+    trace.add_argument("--output", default="-", metavar="PATH",
+                       help="write the trace here instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics", help="run one experiment point and print its metrics report"
+    )
+    _add_point_arguments(metrics, positional_scheme=True)
+    metrics.add_argument("--imbalance-leaf", type=int, default=None,
+                         metavar="LEAF",
+                         help="attach a throughput-imbalance monitor to this "
+                              "leaf (adds monitor.imbalance.* metrics)")
+    metrics.add_argument("--select", default="", metavar="PREFIX",
+                         help="only print metrics whose dotted name starts "
+                              "with PREFIX (e.g. kernel., flowlet.)")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
+    poa.set_defaults(func=_cmd_poa)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+    return parser
 
 
 def _cmd_incast(args: argparse.Namespace) -> int:
@@ -308,148 +585,15 @@ def _cmd_poa(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for testing)."""
-    from repro.apps.experiment import SCHEMES
-    from repro.runner import DEFAULT_CACHE_DIR
-
-    parser = argparse.ArgumentParser(
-        prog="conga-repro",
-        description="CONGA (SIGCOMM 2014) reproduction experiments",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    fct = sub.add_parser("fct", help="run one FCT experiment point")
-    fct.add_argument("--scheme", default="conga", choices=sorted(SCHEMES))
-    fct.add_argument("--workload", default="enterprise", choices=sorted(WORKLOADS))
-    fct.add_argument("--load", type=float, default=0.6)
-    fct.add_argument("--flows", type=int, default=200)
-    fct.add_argument("--size-scale", type=float, default=0.05)
-    fct.add_argument("--seed", type=int, default=1)
-    fct.add_argument("--fail-link", action="append", metavar="LEAF,SPINE,WHICH",
-                     help="fail a leaf-spine link (repeatable)")
-    fct.add_argument("--fault", action="append", metavar="FAULT",
-                     help="schedule a fault event, e.g. link_down@0.1s:l0-s1, "
-                          "link_degrade@5ms:l1-s0=0.25, blackout@1ms:spine1+2ms "
-                          "(repeatable; see repro.faults.parse_fault)")
-    fct.set_defaults(func=_cmd_fct)
-
-    sweep = sub.add_parser(
-        "sweep", help="run a cached, parallel scheme x load x seed sweep"
-    )
-    sweep.add_argument("--schemes", default="ecmp,conga",
-                       help="comma-separated scheme names")
-    sweep.add_argument("--workload", default="enterprise", choices=sorted(WORKLOADS))
-    sweep.add_argument("--loads", default="0.3,0.5,0.7",
-                       help="comma-separated offered loads")
-    sweep.add_argument("--seeds", default="1",
-                       help="comma-separated seeds (one point per seed)")
-    sweep.add_argument("--flows", type=int, default=200)
-    sweep.add_argument("--size-scale", type=float, default=0.05)
-    sweep.add_argument("--workers", type=int, default=None,
-                       help="worker processes (default: one per CPU; 0 = serial)")
-    sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="always execute, never read or write the cache")
-    sweep.add_argument("--verbose", action="store_true",
-                       help="print per-point timing as results arrive")
-    sweep.add_argument("--fault", action="append", metavar="FAULT",
-                       help="schedule a fault event on every point "
-                            "(repeatable; same grammar as fct --fault)")
-    sweep.add_argument("--timeout", type=float, default=None,
-                       help="per-point wall-clock budget in seconds "
-                            "(parallel modes only)")
-    sweep.add_argument("--retries", type=int, default=1,
-                       help="re-executions granted to a failing point "
-                            "(default 1); failures become table rows, "
-                            "not crashes")
-    sweep.set_defaults(func=_cmd_sweep)
-
-    incast = sub.add_parser("incast", help="run an Incast micro-benchmark")
-    incast.add_argument("--transport", default="tcp", choices=["tcp", "mptcp"])
-    incast.add_argument("--fan-in", type=int, default=31)
-    incast.add_argument("--min-rto-ms", type=int, default=200)
-    incast.add_argument("--mtu", type=int, default=1500, choices=[1500, 9000])
-    incast.add_argument("--repeats", type=int, default=3)
-    incast.add_argument("--seed", type=int, default=1)
-    incast.set_defaults(func=_cmd_incast)
-
-    bench = sub.add_parser(
-        "bench", help="run the tracked kernel performance benchmarks"
-    )
-    from repro.perf import BENCH_FILENAME
-
-    bench.add_argument("--quick", action="store_true",
-                       help="smaller specs for CI smoke runs")
-    bench.add_argument("--specs", default=None,
-                       help="comma-separated subset of bench spec names")
-    bench.add_argument("--output", default=BENCH_FILENAME,
-                       help=f"benchmark file to update (default {BENCH_FILENAME})")
-    bench.add_argument("--set-baseline", action="store_true",
-                       help="freeze this run's numbers as the comparison baseline")
-    bench.set_defaults(func=_cmd_bench)
-
-    def _point_arguments(cmd: argparse.ArgumentParser) -> None:
-        cmd.add_argument("scheme", nargs="?", default="conga",
-                         choices=sorted(SCHEMES))
-        cmd.add_argument("--workload", default="enterprise",
-                         choices=sorted(WORKLOADS))
-        cmd.add_argument("--load", type=float, default=0.6)
-        cmd.add_argument("--flows", type=int, default=200)
-        cmd.add_argument("--size-scale", type=float, default=0.05)
-        cmd.add_argument("--seed", type=int, default=1)
-        cmd.add_argument("--fail-link", action="append",
-                         metavar="LEAF,SPINE,WHICH",
-                         help="fail a leaf-spine link (repeatable)")
-        cmd.add_argument("--fault", action="append", metavar="FAULT",
-                         help="schedule a fault event "
-                              "(repeatable; same grammar as fct --fault)")
-
-    trace = sub.add_parser(
-        "trace", help="run one experiment point with structured tracing on"
-    )
-    _point_arguments(trace)
-    trace.add_argument("--categories", default=None,
-                       help="comma-separated trace categories "
-                            "(default: all; see repro.obs.CATEGORIES)")
-    trace.add_argument("--limit", type=int, default=None,
-                       help="trace ring-buffer capacity "
-                            "(oldest events drop beyond this)")
-    trace.add_argument("--format", default="ndjson",
-                       choices=["ndjson", "chrome"],
-                       help="ndjson (one event per line) or a Chrome "
-                            "trace_event JSON document for about://tracing")
-    trace.add_argument("--output", default="-", metavar="PATH",
-                       help="write the trace here instead of stdout")
-    trace.set_defaults(func=_cmd_trace)
-
-    metrics = sub.add_parser(
-        "metrics", help="run one experiment point and print its metrics report"
-    )
-    _point_arguments(metrics)
-    metrics.add_argument("--imbalance-leaf", type=int, default=None,
-                         metavar="LEAF",
-                         help="attach a throughput-imbalance monitor to this "
-                              "leaf (adds monitor.imbalance.* metrics)")
-    metrics.add_argument("--select", default="", metavar="PREFIX",
-                         help="only print metrics whose dotted name starts "
-                              "with PREFIX (e.g. kernel., flowlet.)")
-    metrics.set_defaults(func=_cmd_metrics)
-
-    poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")
-    poa.set_defaults(func=_cmd_poa)
-
-    from repro.lint.cli import add_lint_parser
-
-    add_lint_parser(sub)
-    return parser
-
-
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.code
 
 
 if __name__ == "__main__":

@@ -1,24 +1,47 @@
-"""Parallel sweep runner with deterministic seeding and result caching.
+"""Parallel sweep runner: dispatchers, backends, caching, determinism.
 
-The public surface is small: build :class:`repro.apps.ExperimentSpec`
-points (by hand or with :func:`sweep_grid` / :func:`derive_seeds`), hand
-them to :func:`run_sweep`, and get a :class:`SweepResult` of picklable
-:class:`repro.apps.PointResult` values — in input order, bit-identical
-whether run serially or across a process pool, and served from the
-on-disk :class:`ResultCache` on repeat runs.
+Build :class:`repro.apps.ExperimentSpec` points (by hand, with
+:func:`sweep_grid` / :func:`derive_seeds`, or by compiling a
+:class:`repro.scenarios.Scenario`), then run them:
+
+* :func:`run_sweep` — the one-call API: cache scan, duplicate dedupe,
+  parallel execution, a :class:`SweepResult` of picklable
+  :class:`repro.apps.PointResult` values in input order.
+* :class:`Dispatcher` — the streaming form of the same machinery, with a
+  pluggable execution :class:`Backend`: :class:`LocalBackend` (inline or
+  a crash-tolerant process pool) or :class:`SubprocessBackend` (worker
+  subprocesses over an SSH-shaped stdin/stdout JSON protocol).
+
+Results are bit-identical across all backends and worker counts — a
+point run is a pure function of its spec — which
+:meth:`SweepResult.digest` makes checkable in one comparison.
 """
 
+from repro.runner.backends import (
+    BACKENDS,
+    Backend,
+    LocalBackend,
+    SubprocessBackend,
+    get_backend,
+)
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.dispatch import Dispatcher, run_sweep
 from repro.runner.failures import FAILURE_KINDS, PointFailure
-from repro.runner.sweep import SweepResult, derive_seeds, run_sweep, sweep_grid
+from repro.runner.sweep import SweepResult, derive_seeds, sweep_grid
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
     "DEFAULT_CACHE_DIR",
+    "Dispatcher",
     "FAILURE_KINDS",
+    "LocalBackend",
     "PointFailure",
     "ResultCache",
+    "SubprocessBackend",
     "SweepResult",
     "derive_seeds",
+    "get_backend",
     "run_sweep",
     "sweep_grid",
 ]

@@ -1,0 +1,428 @@
+"""Execution backends: where a dispatched sweep's misses actually run.
+
+A :class:`Backend` receives the sweep's spec list plus the indexes the
+cache could not serve, and resolves every one of them through the
+``finish``/``fail`` callbacks — exactly once per index, from whatever
+thread suits the backend.  Because a point run is a pure function of its
+spec, backends are interchangeable: the same misses yield bit-identical
+results on any of them (that is what :meth:`SweepResult.digest` checks).
+
+Two backends ship:
+
+* :class:`LocalBackend` — the historical behaviour: inline execution for
+  ``workers <= 1``, otherwise the rebuildable ``ProcessPoolExecutor``
+  machinery of :mod:`repro.runner.sweep` with its timeout kills, crash
+  suspects, and retry accounting.
+* :class:`SubprocessBackend` — shards the queue across long-lived
+  ``python -m repro.runner.worker`` child processes over an SSH-shaped
+  stdin/stdout JSON protocol.  The command is configurable, so pointing
+  it at ``ssh host python -m repro.runner.worker`` is a one-line change.
+"""
+
+from __future__ import annotations
+
+import abc
+import base64
+import json
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Sequence
+
+from repro.apps.spec import ExperimentSpec, PointResult
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.failures import PointFailure
+from repro.runner.sweep import (
+    ExecutorFactory,
+    _backoff,
+    _PoolDispatcher,
+    _run_inline,
+)
+from repro.workloads import BUILTIN_WORKLOAD_NAMES, WORKLOADS
+
+FinishFn = Callable[[int, PointResult], None]
+FailFn = Callable[[int, PointFailure], None]
+
+
+class Backend(abc.ABC):
+    """Executes a sweep's cache misses; the pluggable half of dispatch.
+
+    ``execute`` must call ``finish(index, result)`` or
+    ``fail(index, failure)`` exactly once for every index in ``misses``
+    before returning.  Callbacks are thread-safe on the dispatcher side;
+    backends may invoke them from worker threads.
+    """
+
+    #: Registry name (``--backend`` value on the CLI).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        specs: Sequence[ExperimentSpec],
+        misses: list[int],
+        *,
+        finish: FinishFn,
+        fail: FailFn,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Run ``specs[i]`` for every ``i`` in ``misses``."""
+
+
+@dataclass
+class LocalBackend(Backend):
+    """In-process execution: inline for ``workers <= 1``, else a pool.
+
+    This is :func:`repro.runner.run_sweep`'s historical engine unchanged —
+    per-point timeouts, deterministic retry backoff, pool rebuilds after
+    crashes, and solo re-runs of crash suspects all live in
+    :class:`repro.runner.sweep._PoolDispatcher`.
+    """
+
+    workers: int | None = None
+    executor_factory: ExecutorFactory | None = None
+    timeout: float | None = None
+    retries: int = 1
+    retry_backoff: float = 0.5
+    max_executor_rebuilds: int = 3
+
+    name = "local"
+
+    def execute(
+        self,
+        specs: Sequence[ExperimentSpec],
+        misses: list[int],
+        *,
+        finish: FinishFn,
+        fail: FailFn,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not misses:
+            return
+        workers = self.workers if self.workers is not None else os.cpu_count() or 1
+        if workers <= 1:
+            for index in misses:
+                outcome = _run_inline(
+                    specs[index],
+                    retries=self.retries,
+                    retry_backoff=self.retry_backoff,
+                    metrics=metrics,
+                )
+                if isinstance(outcome, PointFailure):
+                    fail(index, outcome)
+                else:
+                    finish(index, outcome)
+            return
+        factory = self.executor_factory or (
+            lambda n: ProcessPoolExecutor(max_workers=n)
+        )
+        _PoolDispatcher(
+            list(specs),
+            list(misses),
+            width=min(workers, len(misses)),
+            factory=factory,
+            timeout=self.timeout,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            max_rebuilds=self.max_executor_rebuilds,
+            finish=finish,
+            fail=fail,
+            metrics=metrics,
+        ).run()
+
+
+def _worker_command() -> list[str]:
+    """The default worker invocation (this interpreter, this package)."""
+    return [sys.executable, "-u", "-m", "repro.runner.worker"]
+
+
+def _worker_env() -> dict[str, str]:
+    """Child environment with this package importable, whatever the cwd."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    return env
+
+
+def _runtime_workloads() -> list[dict]:
+    """Init-handshake payload: workloads registered after import time."""
+    return [
+        {"name": dist.name, "points": [list(p) for p in dist.points]}
+        for name, dist in sorted(WORKLOADS.items())
+        if name not in BUILTIN_WORKLOAD_NAMES
+    ]
+
+
+@dataclass
+class SubprocessBackend(Backend):
+    """Shards misses across worker subprocesses speaking JSON over pipes.
+
+    Each of ``workers`` threads owns one long-lived
+    ``python -m repro.runner.worker`` child (or ``command``, for an
+    SSH-shaped remote worker) and pulls indexes from a shared queue, so a
+    slow point never blocks the others.  A child that dies mid-point is
+    charged a ``crash`` attempt against that point (solo blame — one
+    request in flight per child) and respawned, up to
+    ``max_worker_restarts`` per thread; with every thread's budget
+    exhausted, leftover points fail as crashes rather than hanging.
+
+    Runtime-registered workloads (scenario-inline CDFs) are replayed to
+    every child through the init handshake, so scenario sweeps behave the
+    same here as inline.  Per-point timeouts are not enforced on this
+    backend — use :class:`LocalBackend` when runaway points are a risk.
+    """
+
+    workers: int = 2
+    command: list[str] | None = None
+    retries: int = 1
+    retry_backoff: float = 0.5
+    max_worker_restarts: int = 3
+
+    name = "subprocess"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"need at least one worker, got {self.workers}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+    # -- child process plumbing ----------------------------------------------
+
+    def _spawn(self) -> subprocess.Popen:
+        child = subprocess.Popen(
+            self.command or _worker_command(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=_worker_env(),
+            text=True,
+        )
+        try:
+            reply = self._send(
+                child, {"op": "init", "workloads": _runtime_workloads()}
+            )
+            if reply is None or not reply.get("ok"):
+                error = (reply or {}).get("error", "no init acknowledgement")
+                raise RuntimeError(f"worker failed to initialize: {error}")
+        except Exception:
+            self._kill(child)
+            raise
+        return child
+
+    @staticmethod
+    def _send(child: subprocess.Popen, message: dict) -> dict | None:
+        """One request/reply round trip; None when the child is gone."""
+        try:
+            assert child.stdin is not None and child.stdout is not None
+            child.stdin.write(json.dumps(message) + "\n")
+            child.stdin.flush()
+            line = child.stdout.readline()
+        except (OSError, ValueError):
+            return None
+        if not line:
+            return None
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError:
+            return None  # stream out of sync; unusable child
+        return reply if isinstance(reply, dict) else None
+
+    @staticmethod
+    def _kill(child: subprocess.Popen) -> None:
+        try:
+            child.kill()
+        except Exception:
+            pass
+        try:
+            child.wait(timeout=5)
+        except Exception:
+            pass
+
+    @staticmethod
+    def _shutdown(child: subprocess.Popen) -> None:
+        try:
+            assert child.stdin is not None
+            child.stdin.write(json.dumps({"op": "exit"}) + "\n")
+            child.stdin.flush()
+            child.stdin.close()
+            child.wait(timeout=5)
+        except Exception:
+            SubprocessBackend._kill(child)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        specs: Sequence[ExperimentSpec],
+        misses: list[int],
+        *,
+        finish: FinishFn,
+        fail: FailFn,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not misses:
+            return
+        pending: deque[int] = deque(misses)
+        lock = threading.Lock()
+        failures: dict[int, int] = dict.fromkeys(misses, 0)
+        spent: dict[int, float] = dict.fromkeys(misses, 0.0)
+
+        def charge(index: int, kind: str, error: str) -> bool:
+            """Under ``lock``: charge one failed attempt; True = may retry."""
+            failures[index] += 1
+            if metrics is not None:
+                metrics.counter(f"sweep.{kind}s").value += 1
+            if failures[index] > self.retries:
+                fail(
+                    index,
+                    PointFailure(
+                        spec=specs[index],
+                        error=error,
+                        kind=kind,
+                        attempts=max(1, failures[index]),
+                        wall_seconds=spent[index],
+                    ),
+                )
+                return False
+            if metrics is not None:
+                metrics.counter("sweep.retries").value += 1
+            return True
+
+        def run_one(child: subprocess.Popen, index: int):
+            """One attempt; returns ("ok", result) | ("error"|"dead", info)."""
+            spec = specs[index]
+            started = perf_counter()  # repro-lint: ignore[D101] -- runner wall-clock accounting
+            blob = base64.b64encode(
+                pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+            ).decode("ascii")
+            reply = self._send(child, {"op": "run", "id": index, "spec": blob})
+            with lock:
+                spent[index] += perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
+            if reply is None or reply.get("id") != index:
+                return "dead", None
+            if not reply.get("ok"):
+                return "error", (
+                    reply.get("kind", "exception"),
+                    reply.get("error", "worker reported an error"),
+                )
+            try:
+                result = pickle.loads(base64.b64decode(reply["result"]))
+            except Exception as exc:
+                return "error", (
+                    "exception", f"could not decode worker result: {exc}"
+                )
+            return "ok", result
+
+        def loop() -> None:
+            child: subprocess.Popen | None = None
+            restarts = 0
+            try:
+                while True:
+                    with lock:
+                        if not pending:
+                            return
+                        index = pending.popleft()
+                    resolved = False
+                    while not resolved:
+                        if child is None:
+                            if restarts > self.max_worker_restarts:
+                                with lock:
+                                    pending.appendleft(index)
+                                return
+                            try:
+                                child = self._spawn()
+                            except Exception:
+                                restarts += 1
+                                with lock:
+                                    pending.appendleft(index)
+                                return
+                        status, payload = run_one(child, index)
+                        if status == "ok":
+                            with lock:
+                                finish(index, payload)
+                            resolved = True
+                            continue
+                        if status == "dead":
+                            self._kill(child)
+                            child = None
+                            restarts += 1
+                            if metrics is not None:
+                                with lock:
+                                    metrics.counter(
+                                        "sweep.pool_rebuilds"
+                                    ).value += 1
+                            kind, error = (
+                                "crash",
+                                "worker process died while running this point",
+                            )
+                        else:
+                            kind, error = payload
+                        with lock:
+                            may_retry = charge(index, kind, error)
+                            attempt = failures[index]
+                        if may_retry:
+                            _backoff(self.retry_backoff, attempt)
+                        else:
+                            resolved = True
+            finally:
+                if child is not None:
+                    self._shutdown(child)
+
+        threads = [
+            threading.Thread(target=loop, name=f"sweep-worker-{i}")
+            for i in range(min(self.workers, len(misses)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Every thread gave up (spawn failures / restart budgets): whatever
+        # is still queued fails as a crash instead of hanging the sweep.
+        while pending:
+            index = pending.popleft()
+            fail(
+                index,
+                PointFailure(
+                    spec=specs[index],
+                    error="no subprocess worker available to run this point",
+                    kind="crash",
+                    attempts=max(1, failures[index]),
+                    wall_seconds=spent[index],
+                ),
+            )
+
+
+#: Registry of backend names to constructors (the CLI's ``--backend``).
+BACKENDS: dict[str, type[Backend]] = {
+    "local": LocalBackend,
+    "subprocess": SubprocessBackend,
+}
+
+
+def get_backend(name: str) -> type[Backend]:
+    """Look up a backend class by registry name."""
+    backend = BACKENDS.get(name)
+    if backend is None:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r}; available: {known}")
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "LocalBackend",
+    "SubprocessBackend",
+    "get_backend",
+]

@@ -1,15 +1,17 @@
-"""Parallel sweep execution over declarative experiment specs.
+"""Sweep construction, results, and the local process-pool machinery.
 
 Every figure in the paper is a sweep — N schemes × M loads × seeds — and
 each point is an independent, deterministic function of its
-:class:`ExperimentSpec`.  :func:`run_sweep` exploits exactly that: cache
-hits are served from :class:`ResultCache`, misses fan out over a
+:class:`ExperimentSpec`.  The entry points live in
+:mod:`repro.runner.dispatch` (:func:`run_sweep` and the
+:class:`Dispatcher`/backend API); this module holds what they build on:
+cache hits are served from :class:`ResultCache`, misses fan out over a
 ``ProcessPoolExecutor`` (or run inline with ``workers=0``), and results
 come back in input order, bit-identical regardless of worker count because
 every random draw inside a point comes from the spec's own seed via named
 RNG streams and process-stable hashing.
 
-The runner survives its own failures (the fault-plane PR's second half):
+The pool dispatcher survives its own failures (the fault-plane PR's second half):
 a point that raises is retried with deterministic exponential backoff and
 then reported as a structured :class:`PointFailure`; a point that exceeds
 the per-point wall-clock ``timeout`` has its workers killed and the pool
@@ -167,6 +169,29 @@ class SweepResult:
     def all_cached(self) -> bool:
         """Whether every point was served from the cache."""
         return self.executed == 0 and len(self.points) > 0
+
+    def digest(self) -> str:
+        """A stable digest of *what was computed*, not how.
+
+        Hashes each point's spec content hash together with the
+        :func:`~repro.analysis.fct.records_digest` of its flow records
+        (or the failure kind for failed points).  Cache hits, worker
+        counts, and dispatch backends are invisible to it — the
+        determinism contract says the same specs yield the same records
+        everywhere, and this is the number that checks it.
+        """
+        import hashlib
+
+        from repro.analysis.fct import records_digest
+
+        hasher = hashlib.sha256()
+        for point in self.points:
+            hasher.update(point.spec.content_hash().encode())
+            if isinstance(point, PointFailure):
+                hasher.update(f"FAILED:{point.kind}".encode())
+            else:
+                hasher.update(records_digest(list(point.records)).encode())
+        return hasher.hexdigest()
 
 
 def _execute_point(spec: ExperimentSpec) -> PointResult:
@@ -588,155 +613,8 @@ def _run_inline(
             _backoff(retry_backoff, failure_count)
 
 
-def run_sweep(
-    specs: Iterable[ExperimentSpec],
-    *,
-    workers: int | None = None,
-    cache: ResultCache | str | os.PathLike | None = DEFAULT_CACHE_DIR,
-    progress: ProgressFn | None = None,
-    executor_factory: ExecutorFactory | None = None,
-    timeout: float | None = None,
-    retries: int = 1,
-    retry_backoff: float = 0.5,
-    max_executor_rebuilds: int = 3,
-) -> SweepResult:
-    """Run every spec, in parallel, through the result cache.
-
-    Parameters
-    ----------
-    workers:
-        ``None`` — one worker per CPU; ``0`` or ``1`` — run misses inline
-        in this process (no executor, no pickling); ``n > 1`` — a
-        ``ProcessPoolExecutor`` with ``n`` workers.  The answer is
-        bit-identical in all modes.
-    cache:
-        A :class:`ResultCache`, a directory path for one, or ``None`` to
-        disable caching entirely.  Failures are never cached.
-    progress:
-        Optional callable receiving one human-readable line per completed
-        point (wall clock, events executed, events/sec, cache hits,
-        failures).
-    executor_factory:
-        Test seam: builds the executor for parallel misses.  Defaults to
-        ``ProcessPoolExecutor``.  Never called when every point is served
-        from cache or when running inline.
-    timeout:
-        Per-point wall-clock budget in seconds (parallel modes only; the
-        clock starts at submission, which manual dispatch keeps equal to
-        work start).  An overdue point's workers are killed, the pool is
-        rebuilt, innocent in-flight points are requeued without charge,
-        and the offender retries or fails with kind ``"timeout"``.
-    retries:
-        How many times a failing point is re-executed after its first
-        failed attempt (total attempts = ``retries + 1``).
-    retry_backoff:
-        Base of the deterministic exponential backoff slept before each
-        retry: attempt *k* waits ``retry_backoff · 2**(k-1)`` seconds.
-        0 disables the wait.
-    max_executor_rebuilds:
-        How many pool rebuilds (crashes + timeout kills) are tolerated
-        before falling back to inline execution for queued points (crash
-        suspects then fail rather than run in-process).
-    """
-    specs = list(specs)
-    if not specs:
-        return SweepResult(points=(), executed=0, cached=0, wall_seconds=0.0)
-    if retries < 0:
-        raise ValueError(f"retries must be >= 0, got {retries}")
-    if timeout is not None and timeout <= 0:
-        raise ValueError(f"timeout must be positive, got {timeout}")
-    if cache is not None and not isinstance(cache, ResultCache):
-        cache = ResultCache(cache)
-    if workers is None:
-        workers = os.cpu_count() or 1
-    started = perf_counter()  # repro-lint: ignore[D101] -- sweep wall time, reporting only
-    total = len(specs)
-    registry = MetricsRegistry()
-
-    results: list[PointResult | PointFailure | None] = [None] * total
-    misses: list[int] = []
-    duplicates: dict[int, int] = {}
-    seen: dict[str, int] = {}
-    for index, spec in enumerate(specs):
-        cached = cache.get(spec) if cache is not None else None
-        if cached is not None:
-            results[index] = cached
-            if progress is not None:
-                progress(_point_line(index, total, cached))
-            continue
-        first = seen.setdefault(spec.content_hash(), index)
-        if first != index:
-            duplicates[index] = first  # identical spec earlier in the sweep
-        else:
-            misses.append(index)
-
-    def finish(index: int, result: PointResult) -> None:
-        results[index] = result
-        if cache is not None and not result.from_cache:
-            cache.put(specs[index], result)
-        if progress is not None:
-            progress(_point_line(index, total, result))
-
-    def fail(index: int, failure: PointFailure) -> None:
-        results[index] = failure
-        if progress is not None:
-            progress(_failure_line(index, total, failure))
-
-    if misses and workers <= 1:
-        for index in misses:
-            outcome = _run_inline(
-                specs[index],
-                retries=retries,
-                retry_backoff=retry_backoff,
-                metrics=registry,
-            )
-            if isinstance(outcome, PointFailure):
-                fail(index, outcome)
-            else:
-                finish(index, outcome)
-    elif misses:
-        factory = executor_factory or (
-            lambda n: ProcessPoolExecutor(max_workers=n)
-        )
-        _PoolDispatcher(
-            specs,
-            misses,
-            width=min(workers, len(misses)),
-            factory=factory,
-            timeout=timeout,
-            retries=retries,
-            retry_backoff=retry_backoff,
-            max_rebuilds=max_executor_rebuilds,
-            finish=finish,
-            fail=fail,
-            metrics=registry,
-        ).run()
-
-    for index, first in duplicates.items():
-        results[index] = results[first]
-
-    executed = len(misses)
-    wall = perf_counter() - started  # repro-lint: ignore[D101] -- reporting only
-    registry.counter("sweep.points").value = total
-    registry.counter("sweep.executed").value = executed
-    registry.counter("sweep.cache_hits").value = total - executed - len(duplicates)
-    registry.counter("sweep.duplicates").value = len(duplicates)
-    registry.counter("sweep.failures").value = sum(
-        1 for point in results if isinstance(point, PointFailure)
-    )
-    registry.gauge("sweep.wall_seconds").set(wall)
-    return SweepResult(
-        points=tuple(results),  # type: ignore[arg-type]
-        executed=executed,
-        cached=total - executed - len(duplicates),
-        wall_seconds=wall,
-        metrics=registry.snapshot(),
-    )
-
-
 __all__ = [
     "SweepResult",
     "derive_seeds",
-    "run_sweep",
     "sweep_grid",
 ]

@@ -1,0 +1,750 @@
+"""YAML front end for :class:`repro.scenarios.Scenario`.
+
+The schema mirrors the value objects one-to-one (see EXPERIMENTS.md,
+"Authoring scenarios")::
+
+    name: fig9-enterprise
+    description: Figure 9 FCT sweep over the enterprise workload.
+    template:
+      scheme: ecmp            # placeholder; the grid overwrites swept axes
+      workload: enterprise
+      load: 0.5
+      seed: 31
+      num_flows: 250
+      size_scale: 0.05
+      deadline: 20s           # durations take ns/us/ms/s suffixes
+      tcp: {min_rto: 200ms}
+      topology: {hosts_per_leaf: 32, host_queue_bytes: 8MB}
+      faults: ["link_down@0.1s:l1-s1"]
+    grid:
+      schemes: [ecmp, conga-flow, conga, mptcp]
+      loads: [0.3, 0.5, 0.7, 0.9]
+      seeds: {base: 31, count: 5}   # or an explicit list: [1, 2, 3]
+    workloads:                # inline CDFs, registered on validate()
+      my-mix:
+        points: [[1000, 0.5], [1000000, 1.0]]
+    params:                   # free-form knobs for benchmark code
+      fan_ins: [1, 7, 15]
+
+Every loader error is a :class:`ScenarioError` carrying the source file
+and the YAML line of the offending key — unknown keys, malformed CDFs,
+bad units, unresolvable scheme/workload names — so a typo'd scenario
+fails with ``file.yaml:12: ...`` instead of a stack trace mid-sweep.
+
+PyYAML is an optional dependency: everything here is import-gated so the
+rest of the package works without it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.apps.spec import (
+    ExperimentSpec,
+    ImbalanceMonitorSpec,
+    QueueMonitorSpec,
+    UnknownWorkloadError,
+    get_workload,
+)
+from repro.faults.events import parse_fault
+from repro.obs.config import ObsSpec
+from repro.scenarios.scenario import Scenario, SeedPlan
+from repro.topology.leafspine import LeafSpineConfig
+from repro.transport.tcp import TcpParams
+from repro.units import gbps, kilobytes, mbps, megabytes, microseconds
+from repro.units import gigabytes, milliseconds, nanoseconds, seconds
+from repro.workloads import FlowSizeDistribution, register_workload
+
+Path_ = str | Path
+
+#: Dotted location inside the YAML document, e.g. ("grid", "schemes", "1").
+_KeyPath = tuple[str, ...]
+
+
+class ScenarioError(ValueError):
+    """A scenario file failed to load, with file/line context attached.
+
+    ``source`` is the file path (None for in-memory mappings), ``line``
+    the 1-based YAML line of the offending key when known, and ``key``
+    the dotted key path.  ``str(exc)`` renders ``file.yaml:12: message``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        line: int | None = None,
+        key: str | None = None,
+    ) -> None:
+        self.message = message
+        self.source = source
+        self.line = line
+        self.key = key
+        prefix = ""
+        if source is not None:
+            prefix = source if line is None else f"{source}:{line}"
+            prefix += ": "
+        elif line is not None:
+            prefix = f"line {line}: "
+        super().__init__(prefix + message)
+
+
+def _yaml():
+    """The gated PyYAML import (an optional dependency)."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - env without pyyaml
+        raise ScenarioError(
+            "loading scenario files requires the optional PyYAML dependency "
+            "(pip install pyyaml)"
+        ) from exc
+    return yaml
+
+
+def _line_map(yaml_module, text: str) -> dict[_KeyPath, int]:
+    """Map every YAML key path to its 1-based source line.
+
+    Built from the composed node tree (which keeps source marks), keyed
+    by dotted paths with sequence indices stringified — the same paths
+    the loader reports in errors.
+    """
+    lines: dict[_KeyPath, int] = {}
+    try:
+        root = yaml_module.compose(text)
+    except yaml_module.YAMLError:
+        return lines
+    if root is None:
+        return lines
+
+    def walk(node, path: _KeyPath) -> None:
+        lines.setdefault(path, node.start_mark.line + 1)
+        if isinstance(node, yaml_module.MappingNode):
+            for key_node, value_node in node.value:
+                child = path + (str(key_node.value),)
+                lines[child] = key_node.start_mark.line + 1
+                walk(value_node, child)
+        elif isinstance(node, yaml_module.SequenceNode):
+            for index, item in enumerate(node.value):
+                walk(item, path + (str(index),))
+
+    walk(root, ())
+    return lines
+
+
+class _Context:
+    """Threads (source, line-map) through the loader for error reporting."""
+
+    def __init__(
+        self, source: str | None, lines: dict[_KeyPath, int] | None
+    ) -> None:
+        self.source = source
+        self.lines = lines or {}
+
+    def line(self, path: _KeyPath) -> int | None:
+        """The best-known line for ``path`` (longest known prefix)."""
+        probe = path
+        while True:
+            if probe in self.lines:
+                return self.lines[probe]
+            if not probe:
+                return None
+            probe = probe[:-1]
+
+    def error(self, message: str, path: _KeyPath) -> ScenarioError:
+        return ScenarioError(
+            message,
+            source=self.source,
+            line=self.line(path),
+            key=".".join(path) or None,
+        )
+
+
+# -- field-level parsers ------------------------------------------------------
+
+_DURATION_UNITS = {
+    "ns": nanoseconds,
+    "us": microseconds,
+    "µs": microseconds,
+    "ms": milliseconds,
+    "s": seconds,
+}
+_SIZE_UNITS = {"b": 1, "kb": None, "mb": None, "gb": None}
+_RATE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([gm])bps\s*$", re.I)
+_DURATION_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(ns|us|µs|ms|s)\s*$")
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([kmg]?b)\s*$", re.I)
+
+
+def _as_int(value: Any, path: _KeyPath, ctx: _Context) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ctx.error(f"expected an integer, got {value!r}", path)
+    return value
+
+
+def _as_number(value: Any, path: _KeyPath, ctx: _Context) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ctx.error(f"expected a number, got {value!r}", path)
+    return float(value)
+
+
+def _as_str(value: Any, path: _KeyPath, ctx: _Context) -> str:
+    if not isinstance(value, str):
+        raise ctx.error(f"expected a string, got {value!r}", path)
+    return value
+
+
+def _as_list(value: Any, path: _KeyPath, ctx: _Context) -> list:
+    if not isinstance(value, list):
+        raise ctx.error(f"expected a list, got {value!r}", path)
+    return value
+
+
+def _as_mapping(value: Any, path: _KeyPath, ctx: _Context) -> dict:
+    if not isinstance(value, dict):
+        raise ctx.error(f"expected a mapping, got {value!r}", path)
+    return value
+
+
+def _check_keys(
+    mapping: dict, allowed: frozenset[str], path: _KeyPath, ctx: _Context
+) -> None:
+    for key in mapping:
+        if str(key) not in allowed:
+            known = ", ".join(sorted(allowed))
+            raise ctx.error(
+                f"unknown key {key!r}; allowed keys: {known}",
+                path + (str(key),),
+            )
+
+
+def _parse_duration(value: Any, path: _KeyPath, ctx: _Context) -> int:
+    """A duration in integer ticks: a raw int (ns) or ``"200ms"``-style."""
+    if isinstance(value, bool):
+        raise ctx.error(f"expected a duration, got {value!r}", path)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        match = _DURATION_RE.match(value)
+        if match:
+            return _DURATION_UNITS[match.group(2)](float(match.group(1)))
+    raise ctx.error(
+        f"expected a duration (integer ns or e.g. '200ms', '0.1s'), "
+        f"got {value!r}",
+        path,
+    )
+
+
+def _parse_size(value: Any, path: _KeyPath, ctx: _Context) -> int:
+    """A byte size: a raw int or ``"100KB"`` / ``"8MB"`` / ``"1GB"``."""
+    if isinstance(value, bool):
+        raise ctx.error(f"expected a byte size, got {value!r}", path)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        match = _SIZE_RE.match(value)
+        if match:
+            amount = float(match.group(1))
+            unit = match.group(2).lower()
+            if unit == "b":
+                return int(amount)
+            return {"kb": kilobytes, "mb": megabytes, "gb": gigabytes}[unit](
+                amount
+            )
+    raise ctx.error(
+        f"expected a byte size (integer bytes or e.g. '100KB', '8MB'), "
+        f"got {value!r}",
+        path,
+    )
+
+
+def _parse_rate(value: Any, path: _KeyPath, ctx: _Context) -> int:
+    """A link rate: a raw int (bps) or ``"40Gbps"`` / ``"100Mbps"``."""
+    if isinstance(value, bool):
+        raise ctx.error(f"expected a rate, got {value!r}", path)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        match = _RATE_RE.match(value)
+        if match:
+            maker = gbps if match.group(2).lower() == "g" else mbps
+            return maker(float(match.group(1)))
+    raise ctx.error(
+        f"expected a rate (integer bps or e.g. '40Gbps', '100Mbps'), "
+        f"got {value!r}",
+        path,
+    )
+
+
+# -- section builders ---------------------------------------------------------
+
+_TOP_KEYS = frozenset(
+    {"name", "description", "template", "grid", "params", "workloads"}
+)
+_TEMPLATE_KEYS = frozenset(
+    {
+        "scheme", "workload", "load", "seed", "num_flows", "size_scale",
+        "clients", "failed_links", "faults", "deadline", "topology", "tcp",
+        "queue_monitor", "imbalance_monitor", "obs",
+    }
+)
+_GRID_KEYS = frozenset({"schemes", "workloads", "loads", "seeds"})
+_SEED_PLAN_KEYS = frozenset({"base", "count", "stream"})
+_TOPOLOGY_INT_KEYS = (
+    "num_leaves", "num_spines", "hosts_per_leaf", "links_per_pair",
+)
+_TOPOLOGY_KEYS = frozenset(
+    _TOPOLOGY_INT_KEYS
+    + (
+        "host_rate_bps", "fabric_rate_bps", "host_queue_bytes",
+        "fabric_queue_bytes", "ecn_threshold_bytes", "propagation_delay",
+    )
+)
+_TCP_INT_KEYS = (
+    "mss", "initial_cwnd_segments", "dupack_threshold", "receive_window",
+    "ack_every",
+)
+_TCP_DURATION_KEYS = ("min_rto", "max_rto", "initial_rto")
+_TCP_KEYS = frozenset(_TCP_INT_KEYS + _TCP_DURATION_KEYS)
+_QUEUE_MONITOR_KEYS = frozenset(
+    {"tier", "direction", "leaf", "spine", "interval"}
+)
+_IMBALANCE_MONITOR_KEYS = frozenset({"leaf", "interval"})
+_OBS_KEYS = frozenset({"categories", "buffer_limit"})
+_WORKLOAD_KEYS = frozenset({"points"})
+
+
+def _build_topology(
+    data: dict, path: _KeyPath, ctx: _Context
+) -> LeafSpineConfig:
+    _check_keys(data, _TOPOLOGY_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        where = path + (key,)
+        if key in _TOPOLOGY_INT_KEYS:
+            kwargs[key] = _as_int(value, where, ctx)
+        elif key in ("host_rate_bps", "fabric_rate_bps"):
+            kwargs[key] = _parse_rate(value, where, ctx)
+        elif key in (
+            "host_queue_bytes", "fabric_queue_bytes", "ecn_threshold_bytes"
+        ):
+            kwargs[key] = (
+                None if value is None else _parse_size(value, where, ctx)
+            )
+        else:  # propagation_delay
+            kwargs[key] = _parse_duration(value, where, ctx)
+    try:
+        return LeafSpineConfig(**kwargs)
+    except ValueError as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_tcp(data: dict, path: _KeyPath, ctx: _Context) -> TcpParams:
+    _check_keys(data, _TCP_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        where = path + (key,)
+        if key in _TCP_DURATION_KEYS:
+            kwargs[key] = _parse_duration(value, where, ctx)
+        else:
+            kwargs[key] = _as_int(value, where, ctx)
+    try:
+        return TcpParams(**kwargs)
+    except ValueError as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_queue_monitor(
+    data: dict, path: _KeyPath, ctx: _Context
+) -> QueueMonitorSpec:
+    _check_keys(data, _QUEUE_MONITOR_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    if "tier" in data:
+        kwargs["tier"] = _as_str(data["tier"], path + ("tier",), ctx)
+    if "direction" in data:
+        kwargs["direction"] = _as_str(
+            data["direction"], path + ("direction",), ctx
+        )
+    elif "tier" in data:
+        # The direction is implied by the tier; fill it so scenario authors
+        # only spell it out when they want the readability.
+        implied = QueueMonitorSpec._DIRECTIONS.get(kwargs["tier"])
+        if implied is not None:
+            kwargs["direction"] = implied
+    for key in ("leaf", "spine"):
+        if key in data and data[key] is not None:
+            kwargs[key] = _as_int(data[key], path + (key,), ctx)
+    if "interval" in data:
+        kwargs["interval"] = _parse_duration(
+            data["interval"], path + ("interval",), ctx
+        )
+    try:
+        return QueueMonitorSpec(**kwargs)
+    except ValueError as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_imbalance_monitor(
+    data: dict, path: _KeyPath, ctx: _Context
+) -> ImbalanceMonitorSpec:
+    _check_keys(data, _IMBALANCE_MONITOR_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    if "leaf" in data:
+        kwargs["leaf"] = _as_int(data["leaf"], path + ("leaf",), ctx)
+    if "interval" in data and data["interval"] is not None:
+        kwargs["interval"] = _parse_duration(
+            data["interval"], path + ("interval",), ctx
+        )
+    try:
+        return ImbalanceMonitorSpec(**kwargs)
+    except ValueError as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_obs(data: dict, path: _KeyPath, ctx: _Context) -> ObsSpec:
+    _check_keys(data, _OBS_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    if "categories" in data:
+        value = data["categories"]
+        if isinstance(value, str):
+            kwargs["categories"] = value
+        else:
+            kwargs["categories"] = tuple(
+                _as_str(item, path + ("categories", str(i)), ctx)
+                for i, item in enumerate(
+                    _as_list(value, path + ("categories",), ctx)
+                )
+            )
+    if "buffer_limit" in data:
+        kwargs["buffer_limit"] = _as_int(
+            data["buffer_limit"], path + ("buffer_limit",), ctx
+        )
+    try:
+        return ObsSpec(**kwargs)
+    except ValueError as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_template(
+    data: dict, path: _KeyPath, ctx: _Context
+) -> ExperimentSpec:
+    _check_keys(data, _TEMPLATE_KEYS, path, ctx)
+    kwargs: dict[str, Any] = {}
+    for key in ("scheme", "workload"):
+        if key in data:
+            kwargs[key] = _as_str(data[key], path + (key,), ctx)
+    if "load" in data:
+        kwargs["load"] = _as_number(data["load"], path + ("load",), ctx)
+    for key in ("seed", "num_flows"):
+        if key in data:
+            kwargs[key] = _as_int(data[key], path + (key,), ctx)
+    if "size_scale" in data:
+        kwargs["size_scale"] = _as_number(
+            data["size_scale"], path + ("size_scale",), ctx
+        )
+    if "clients" in data and data["clients"] is not None:
+        clients = _as_list(data["clients"], path + ("clients",), ctx)
+        kwargs["clients"] = tuple(
+            _as_int(item, path + ("clients", str(i)), ctx)
+            for i, item in enumerate(clients)
+        )
+    if "failed_links" in data:
+        links = _as_list(data["failed_links"], path + ("failed_links",), ctx)
+        parsed = []
+        for i, link in enumerate(links):
+            where = path + ("failed_links", str(i))
+            triple = _as_list(link, where, ctx)
+            if len(triple) != 3:
+                raise ctx.error(
+                    f"a failed link is [leaf, spine, which], got {link!r}",
+                    where,
+                )
+            parsed.append(
+                tuple(
+                    _as_int(part, where + (str(j),), ctx)
+                    for j, part in enumerate(triple)
+                )
+            )
+        kwargs["failed_links"] = tuple(parsed)
+    if "faults" in data:
+        faults = []
+        for i, text in enumerate(
+            _as_list(data["faults"], path + ("faults",), ctx)
+        ):
+            where = path + ("faults", str(i))
+            try:
+                faults.append(
+                    parse_fault(_as_str(text, where, ctx))
+                )
+            except ValueError as exc:
+                raise ctx.error(str(exc), where) from exc
+        kwargs["faults"] = tuple(faults)
+    if "deadline" in data:
+        kwargs["deadline"] = _parse_duration(
+            data["deadline"], path + ("deadline",), ctx
+        )
+    if "topology" in data and data["topology"] is not None:
+        kwargs["config"] = _build_topology(
+            _as_mapping(data["topology"], path + ("topology",), ctx),
+            path + ("topology",),
+            ctx,
+        )
+    if "tcp" in data and data["tcp"] is not None:
+        kwargs["tcp_params"] = _build_tcp(
+            _as_mapping(data["tcp"], path + ("tcp",), ctx),
+            path + ("tcp",),
+            ctx,
+        )
+    if "queue_monitor" in data and data["queue_monitor"] is not None:
+        kwargs["queue_monitor"] = _build_queue_monitor(
+            _as_mapping(data["queue_monitor"], path + ("queue_monitor",), ctx),
+            path + ("queue_monitor",),
+            ctx,
+        )
+    if "imbalance_monitor" in data and data["imbalance_monitor"] is not None:
+        kwargs["imbalance_monitor"] = _build_imbalance_monitor(
+            _as_mapping(
+                data["imbalance_monitor"], path + ("imbalance_monitor",), ctx
+            ),
+            path + ("imbalance_monitor",),
+            ctx,
+        )
+    if "obs" in data and data["obs"] is not None:
+        kwargs["obs"] = _build_obs(
+            _as_mapping(data["obs"], path + ("obs",), ctx),
+            path + ("obs",),
+            ctx,
+        )
+    if "scheme" not in kwargs or "workload" not in kwargs or "load" not in kwargs:
+        missing = [
+            key for key in ("scheme", "workload", "load") if key not in kwargs
+        ]
+        raise ctx.error(
+            f"template is missing required keys: {', '.join(missing)}", path
+        )
+    try:
+        return ExperimentSpec(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ctx.error(str(exc), path) from exc
+
+
+def _build_seeds(
+    value: Any, path: _KeyPath, ctx: _Context
+) -> tuple[int, ...] | SeedPlan:
+    if isinstance(value, dict):
+        _check_keys(value, _SEED_PLAN_KEYS, path, ctx)
+        if "base" not in value or "count" not in value:
+            raise ctx.error(
+                "a seed plan needs 'base' and 'count' (optionally 'stream')",
+                path,
+            )
+        kwargs: dict[str, Any] = {
+            "base": _as_int(value["base"], path + ("base",), ctx),
+            "count": _as_int(value["count"], path + ("count",), ctx),
+        }
+        if "stream" in value:
+            kwargs["stream"] = _as_str(
+                value["stream"], path + ("stream",), ctx
+            )
+        try:
+            return SeedPlan(**kwargs)
+        except ValueError as exc:
+            raise ctx.error(str(exc), path) from exc
+    seeds = _as_list(value, path, ctx)
+    return tuple(
+        _as_int(item, path + (str(i),), ctx) for i, item in enumerate(seeds)
+    )
+
+
+def _build_workloads(
+    data: dict, path: _KeyPath, ctx: _Context
+) -> tuple[FlowSizeDistribution, ...]:
+    dists = []
+    for name, body in data.items():
+        where = path + (str(name),)
+        mapping = _as_mapping(body, where, ctx)
+        _check_keys(mapping, _WORKLOAD_KEYS, where, ctx)
+        if "points" not in mapping:
+            raise ctx.error("an inline workload needs 'points'", where)
+        raw_points = _as_list(mapping["points"], where + ("points",), ctx)
+        points = []
+        for i, pair in enumerate(raw_points):
+            point_path = where + ("points", str(i))
+            values = _as_list(pair, point_path, ctx)
+            if len(values) != 2:
+                raise ctx.error(
+                    f"a CDF point is [size_bytes, cdf], got {pair!r}",
+                    point_path,
+                )
+            points.append(
+                (
+                    _as_number(values[0], point_path + ("0",), ctx),
+                    _as_number(values[1], point_path + ("1",), ctx),
+                )
+            )
+        try:
+            dists.append(FlowSizeDistribution(str(name), tuple(points)))
+        except ValueError as exc:
+            raise ctx.error(str(exc), where + ("points",)) from exc
+    return tuple(dists)
+
+
+def scenario_from_mapping(
+    data: Any,
+    *,
+    source: str | None = None,
+    lines: dict[_KeyPath, int] | None = None,
+) -> Scenario:
+    """Build and fully validate a :class:`Scenario` from parsed YAML data.
+
+    Raises :class:`ScenarioError` — with ``source``/line context when
+    available — for unknown keys, malformed values, invalid CDFs, and
+    scheme/workload names that do not resolve.  The returned scenario is
+    guaranteed compilable (its inline workloads are registered).
+    """
+    from repro.apps.experiment import UnknownSchemeError, get_scheme
+
+    ctx = _Context(source, lines)
+    mapping = _as_mapping(data, (), ctx)
+    _check_keys(mapping, _TOP_KEYS, (), ctx)
+    if "name" not in mapping:
+        raise ctx.error("a scenario needs a 'name'", ())
+    if "template" not in mapping:
+        raise ctx.error("a scenario needs a 'template' section", ())
+    name = _as_str(mapping["name"], ("name",), ctx)
+    description = (
+        _as_str(mapping["description"], ("description",), ctx)
+        if "description" in mapping
+        else ""
+    )
+    template = _build_template(
+        _as_mapping(mapping["template"], ("template",), ctx),
+        ("template",),
+        ctx,
+    )
+
+    defined = ()
+    if "workloads" in mapping and mapping["workloads"] is not None:
+        defined = _build_workloads(
+            _as_mapping(mapping["workloads"], ("workloads",), ctx),
+            ("workloads",),
+            ctx,
+        )
+        for i, dist in enumerate(defined):
+            try:
+                register_workload(dist)
+            except ValueError as exc:
+                raise ctx.error(str(exc), ("workloads", dist.name)) from exc
+
+    axes: dict[str, Any] = {}
+    if "grid" in mapping and mapping["grid"] is not None:
+        grid = _as_mapping(mapping["grid"], ("grid",), ctx)
+        _check_keys(grid, _GRID_KEYS, ("grid",), ctx)
+        if "schemes" in grid:
+            axes["schemes"] = tuple(
+                _as_str(item, ("grid", "schemes", str(i)), ctx)
+                for i, item in enumerate(
+                    _as_list(grid["schemes"], ("grid", "schemes"), ctx)
+                )
+            )
+        if "workloads" in grid:
+            axes["workloads"] = tuple(
+                _as_str(item, ("grid", "workloads", str(i)), ctx)
+                for i, item in enumerate(
+                    _as_list(grid["workloads"], ("grid", "workloads"), ctx)
+                )
+            )
+        if "loads" in grid:
+            axes["loads"] = tuple(
+                _as_number(item, ("grid", "loads", str(i)), ctx)
+                for i, item in enumerate(
+                    _as_list(grid["loads"], ("grid", "loads"), ctx)
+                )
+            )
+        if "seeds" in grid:
+            axes["seeds"] = _build_seeds(grid["seeds"], ("grid", "seeds"), ctx)
+
+    params_json = "{}"
+    if "params" in mapping and mapping["params"] is not None:
+        params = _as_mapping(mapping["params"], ("params",), ctx)
+        try:
+            params_json = json.dumps(params, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ctx.error(
+                f"params must be JSON-serializable: {exc}", ("params",)
+            ) from exc
+
+    # Resolve every referenced scheme and workload name now, with precise
+    # locations, rather than letting compile() fail without context.
+    for i, scheme in enumerate(axes.get("schemes") or ()):
+        try:
+            get_scheme(scheme)
+        except UnknownSchemeError as exc:
+            raise ctx.error(str(exc), ("grid", "schemes", str(i))) from exc
+    if "schemes" not in axes:
+        try:
+            get_scheme(template.scheme)
+        except UnknownSchemeError as exc:
+            raise ctx.error(str(exc), ("template", "scheme")) from exc
+    for i, workload in enumerate(axes.get("workloads") or ()):
+        try:
+            get_workload(workload)
+        except UnknownWorkloadError as exc:
+            raise ctx.error(str(exc), ("grid", "workloads", str(i))) from exc
+    if "workloads" not in axes:
+        try:
+            get_workload(template.workload)
+        except UnknownWorkloadError as exc:
+            raise ctx.error(str(exc), ("template", "workload")) from exc
+
+    try:
+        scenario = Scenario(
+            name=name,
+            template=template,
+            description=description,
+            defined_workloads=defined,
+            params_json=params_json,
+            source=source,
+            **axes,
+        )
+        scenario.validate()
+    except ValueError as exc:
+        if isinstance(exc, ScenarioError):
+            raise
+        raise ctx.error(str(exc), ()) from exc
+    return scenario
+
+
+def load_scenario(path: Path_) -> Scenario:
+    """Load, validate, and return the scenario in a YAML file.
+
+    Everything that can go wrong — unreadable file, YAML syntax error,
+    schema violations, unresolvable names — raises :class:`ScenarioError`
+    with the file (and line, when known) attached.
+    """
+    yaml = _yaml()
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(
+            f"cannot read scenario file: {exc}", source=str(path)
+        ) from exc
+    try:
+        data = yaml.safe_load(text)
+    except yaml.YAMLError as exc:
+        line = None
+        mark = getattr(exc, "problem_mark", None)
+        if mark is not None:
+            line = mark.line + 1
+        raise ScenarioError(
+            f"invalid YAML: {exc}", source=str(path), line=line
+        ) from exc
+    return scenario_from_mapping(
+        data, source=str(path), lines=_line_map(yaml, text)
+    )
+
+
+__all__ = ["ScenarioError", "load_scenario", "scenario_from_mapping"]

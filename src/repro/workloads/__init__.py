@@ -1,17 +1,23 @@
-"""Empirical workloads: enterprise, data-mining, and web-search flow sizes."""
+"""Empirical workloads: enterprise, data-mining, web-search, hadoop CDFs."""
 
 from repro.workloads.distributions import (
+    BUILTIN_WORKLOAD_NAMES,
     DATA_MINING,
     ENTERPRISE,
     FlowSizeDistribution,
+    HADOOP,
     WEB_SEARCH,
     WORKLOADS,
+    register_workload,
 )
 
 __all__ = [
+    "BUILTIN_WORKLOAD_NAMES",
     "DATA_MINING",
     "ENTERPRISE",
     "FlowSizeDistribution",
+    "HADOOP",
     "WEB_SEARCH",
     "WORKLOADS",
+    "register_workload",
 ]

@@ -8,7 +8,8 @@ from repro.apps import (
     IncastClient,
     SCHEMES,
     compare_schemes,
-    run_fct_experiment,
+    execute_experiment,
+    get_scheme,
     tcp_flow_factory,
     mptcp_flow_factory,
 )
@@ -227,11 +228,12 @@ class TestExperimentHarness:
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError):
-            run_fct_experiment("bogus", WEB_SEARCH, 0.5)
+            get_scheme("bogus")
 
     def test_runs_and_summarizes(self):
-        result = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.4, num_flows=40, size_scale=0.02, seed=2
+        result = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.4,
+            num_flows=40, size_scale=0.02, seed=2,
         )
         assert result.completed == 40
         assert result.unfinished == 0
@@ -239,9 +241,9 @@ class TestExperimentHarness:
         assert result.summary.mean_normalized >= 1.0 or result.summary.mean_normalized > 0
 
     def test_failed_links_passed_through(self):
-        result = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.3, num_flows=20, size_scale=0.02,
-            failed_links=[(1, 1, 0)], seed=2,
+        result = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.3, num_flows=20,
+            size_scale=0.02, failed_links=[(1, 1, 0)], seed=2,
         )
         failed = result.fabric.uplink_ports(1, 1)[0]
         assert not failed.up
@@ -250,8 +252,9 @@ class TestExperimentHarness:
     def test_monitors_attached(self):
         from repro.units import microseconds
 
-        result = run_fct_experiment(
-            "ecmp", WEB_SEARCH, 0.5, num_flows=40, size_scale=0.02, seed=2,
+        result = execute_experiment(
+            get_scheme("ecmp"), WEB_SEARCH, 0.5,
+            num_flows=40, size_scale=0.02, seed=2,
             monitor_imbalance_leaf=0,
             imbalance_interval=microseconds(50),
             monitor_queue_ports=lambda fabric: [fabric.spines[0].ports[0]],
@@ -271,10 +274,12 @@ class TestExperimentHarness:
         assert sorted(sizes_e) == sorted(sizes_c)  # same sampled workload
 
     def test_deterministic_given_seed(self):
-        a = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.5, num_flows=30, size_scale=0.02, seed=9
+        a = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.5,
+            num_flows=30, size_scale=0.02, seed=9,
         )
-        b = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.5, num_flows=30, size_scale=0.02, seed=9
+        b = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.5,
+            num_flows=30, size_scale=0.02, seed=9,
         )
         assert [r.fct for r in a.records] == [r.fct for r in b.records]

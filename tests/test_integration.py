@@ -6,7 +6,7 @@ full parameter sweeps live in ``benchmarks/``.
 
 import pytest
 
-from repro.apps import compare_schemes, run_fct_experiment
+from repro.apps import compare_schemes, execute_experiment, get_scheme
 from repro.lb import CongaSelector, EcmpSelector, LocalAwareSelector
 from repro.sim import Simulator, run_until_idle
 from repro.topology import build_leaf_spine, scaled_testbed
@@ -141,8 +141,8 @@ class TestImbalanceShape:
 
         results = {}
         for scheme in ("ecmp", "conga"):
-            result = run_fct_experiment(
-                scheme,
+            result = execute_experiment(
+                get_scheme(scheme),
                 ENTERPRISE,
                 0.6,
                 num_flows=200,
@@ -177,8 +177,9 @@ class TestIncrementalDeployment:
 
 class TestFeedbackDynamics:
     def test_metrics_age_out_when_traffic_stops(self):
-        result = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.5, num_flows=50, size_scale=0.02, seed=23
+        result = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.5,
+            num_flows=50, size_scale=0.02, seed=23,
         )
         leaf0 = result.fabric.leaves[0]
         sim = result.sim
@@ -189,8 +190,9 @@ class TestFeedbackDynamics:
         assert all(m == 0 for m in metrics)
 
     def test_conga_feedback_flows_in_both_directions(self):
-        result = run_fct_experiment(
-            "conga", WEB_SEARCH, 0.5, num_flows=50, size_scale=0.02, seed=29
+        result = execute_experiment(
+            get_scheme("conga"), WEB_SEARCH, 0.5,
+            num_flows=50, size_scale=0.02, seed=29,
         )
         for leaf in result.fabric.leaves:
             assert leaf.tep.feedback_received > 0

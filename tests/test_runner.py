@@ -13,10 +13,10 @@ from repro.apps import (
     SchemeSpec,
     UnknownSchemeError,
     UnknownWorkloadError,
+    execute_experiment,
     get_scheme,
     get_workload,
     register_scheme,
-    run_fct_experiment,
 )
 from repro.apps.experiment import SCHEMES
 from repro.apps.traffic import tcp_flow_factory
@@ -155,19 +155,18 @@ class TestExperimentSpec:
         assert point.events_executed > 0
         assert point.events_per_sec > 0
 
-    def test_run_matches_deprecated_kwarg_api(self):
+    def test_run_matches_low_level_kwarg_api(self):
         point = TINY.run()
-        with pytest.deprecated_call():
-            legacy = run_fct_experiment(
-                TINY.scheme,
-                WORKLOADS[TINY.workload],
-                TINY.load,
-                seed=TINY.seed,
-                num_flows=TINY.num_flows,
-                size_scale=TINY.size_scale,
-            )
-        assert_summaries_equal(point.summary, legacy.summary)
-        assert point.completed == legacy.completed
+        low_level = execute_experiment(
+            get_scheme(TINY.scheme),
+            WORKLOADS[TINY.workload],
+            TINY.load,
+            seed=TINY.seed,
+            num_flows=TINY.num_flows,
+            size_scale=TINY.size_scale,
+        )
+        assert_summaries_equal(point.summary, low_level.summary)
+        assert point.completed == low_level.completed
 
     def test_monitor_specs_resolve_on_fabric(self):
         sim = Simulator(seed=1)
