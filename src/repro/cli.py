@@ -466,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"benchmark file to update (default {BENCH_FILENAME})")
     bench.add_argument("--set-baseline", action="store_true",
                        help="freeze this run's numbers as the comparison baseline")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                       help="compare two benchmark files instead of running; "
+                            "exits non-zero on any >3%% events/sec regression")
+    bench.add_argument("--tolerance", type=float, default=None, metavar="FRAC",
+                       help="regression tolerance for --compare as a fraction "
+                            "(default 0.03; raise on noisy shared runners)")
+    bench.add_argument("--profile", default=None, metavar="PSTATS",
+                       help="run the specs under cProfile and dump pstats "
+                            "to this path (skips updating the benchmark file)")
     bench.set_defaults(func=_cmd_bench)
 
     trace = sub.add_parser(
@@ -551,12 +560,48 @@ def _cmd_incast(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf import run_bench, write_bench_file
+    from repro.perf import (
+        compare_bench,
+        comparison_failed,
+        load_bench_file,
+        profile_bench,
+        run_bench,
+        write_bench_file,
+    )
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        old_payload = load_bench_file(old_path)
+        new_payload = load_bench_file(new_path)
+        for path, payload in ((old_path, old_payload), (new_path, new_payload)):
+            if payload is None:
+                print(f"error: cannot read benchmark file {path}", file=sys.stderr)
+                return 2
+        if args.tolerance is not None:
+            rows = compare_bench(old_payload, new_payload, tolerance=args.tolerance)
+        else:
+            rows = compare_bench(old_payload, new_payload)
+        print(f"bench compare: {old_path} -> {new_path}")
+        for row in rows:
+            print(row.row())
+        if comparison_failed(rows):
+            print("\nFAIL: regression or invalid comparison detected",
+                  file=sys.stderr)
+            return 1
+        print("\nOK: no spec regressed beyond tolerance")
+        return 0
 
     specs = (
         [s.strip() for s in args.specs.split(",")] if args.specs else None
     )
     try:
+        if args.profile is not None:
+            results = profile_bench(
+                args.profile, quick=args.quick, specs=specs, progress=print
+            )
+            print(f"\nwrote profile to {args.profile} "
+                  "(profiled ev/s are ~3-4x low; benchmark file left untouched)")
+            return 0
         results = run_bench(quick=args.quick, specs=specs, progress=print)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

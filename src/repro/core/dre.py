@@ -29,6 +29,28 @@ if TYPE_CHECKING:
 #: few dozen only occur after idle gaps, where one pow is irrelevant.
 _DECAY_TABLE_SIZE = 256
 
+#: Shared decay tables keyed by α.  Every port's DRE in a fabric uses the
+#: same parameter block, so one table serves all of them — a fabric with
+#: hundreds of ports holds one 256-entry tuple instead of one per port, and
+#: the per-packet lazy decay in every estimator indexes the same cache-hot
+#: row.
+_DECAY_TABLES: dict[float, tuple[float, ...]] = {}
+
+
+def _decay_table(alpha: float) -> tuple[float, ...]:
+    """The shared ``(1 - α) ** k`` table for ``alpha`` (see _DECAY_TABLES).
+
+    Entry k is literally ``(1 - α) ** k`` evaluated by the same float
+    operation the direct formula uses, so table and formula agree bit for
+    bit (asserted by tests/test_core.py).
+    """
+    table = _DECAY_TABLES.get(alpha)
+    if table is None:
+        base = 1.0 - alpha
+        table = tuple(base ** k for k in range(_DECAY_TABLE_SIZE))
+        _DECAY_TABLES[alpha] = table
+    return table
+
 
 class DRE:
     """A discounting rate estimator for one link direction.
@@ -42,6 +64,21 @@ class DRE:
     params:
         CONGA parameter block (provides T_dre, τ, α, Q).
     """
+
+    __slots__ = (
+        "sim",
+        "link_rate_bps",
+        "params",
+        "name",
+        "_register",
+        "_last_decay_tick",
+        "_full_register",
+        "_period",
+        "_decay_base",
+        "_decay_table",
+        "_metric_levels",
+        "_max_metric",
+    )
 
     def __init__(
         self,
@@ -64,15 +101,15 @@ class DRE:
             link_rate_bps * params.dre_time_constant / (8 * 1_000_000_000)
         )
         self._period = params.dre_period
-        # Decay factors for small elapsed tick counts, precomputed so the
-        # per-packet lazy decay is a table lookup instead of a float pow.
-        # Entry k is literally ``(1 - α) ** k`` evaluated by the same float
-        # operation the direct formula uses, so table and formula agree bit
-        # for bit (asserted by tests/test_core.py).
+        # Decay factors for small elapsed tick counts, precomputed (and
+        # shared across all estimators with the same α) so the per-packet
+        # lazy decay is a table lookup instead of a float pow.
         self._decay_base = 1.0 - params.alpha
-        self._decay_table = tuple(
-            self._decay_base ** k for k in range(_DECAY_TABLE_SIZE)
-        )
+        self._decay_table = _decay_table(params.alpha)
+        # Quantization constants cached off the (frozen) parameter block so
+        # the fused per-packet path below avoids attribute chains.
+        self._metric_levels = params.metric_levels
+        self._max_metric = params.max_metric
 
     # -- register maintenance -------------------------------------------------
 
@@ -90,6 +127,45 @@ class DRE:
         """Account for ``size_bytes`` sent on the link (increment ``X``)."""
         self._apply_decay()
         self._register += size_bytes
+
+    def measure(self, packet) -> None:
+        """Fused per-packet egress hook: decay + increment + CE stamp.
+
+        Semantically identical to ``on_transmit(packet.size)`` followed by
+        ``header.ce = max(header.ce, metric())`` (the switch-egress sequence
+        of §3.2/§3.3 step 2), collapsed into one call so the hot path pays a
+        single decay application and no attribute-chain re-reads.  Bound
+        directly into ``port.on_transmit`` by the leaf and spine switches.
+        """
+        tick = self.sim._now // self._period
+        elapsed = tick - self._last_decay_tick
+        register = self._register
+        if elapsed > 0:
+            self._last_decay_tick = tick
+            if elapsed < _DECAY_TABLE_SIZE:
+                register *= self._decay_table[elapsed]
+            else:
+                register *= self._decay_base ** elapsed
+        register += packet.size
+        self._register = register
+        header = packet.overlay
+        if header is not None:
+            utilization = register / self._full_register
+            level = int(utilization * self._metric_levels)
+            metric = self._max_metric if level > self._max_metric else level
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.dre:
+                tracer.emit(
+                    DreSampled(
+                        time=self.sim.now,
+                        link=self.name,
+                        register=register,
+                        utilization=utilization,
+                        metric=metric,
+                    )
+                )
+            if metric > header.ce:
+                header.ce = metric
 
     # -- readings --------------------------------------------------------------
 

@@ -136,6 +136,12 @@ class CongestionFromLeafTable:
         self.num_lbtags = num_lbtags
         self._rows: dict[int, list[_PendingMetric]] = {}
         self._rr_pointer: dict[int, int] = {}
+        # Per-row changed/valid cell counts, so the per-encapsulation
+        # feedback selection can skip whole scan passes (the steady state is
+        # "nothing changed, everything valid", where selection collapses to
+        # the round-robin pointer itself).
+        self._changed_cells: dict[int, int] = {}
+        self._valid_cells: dict[int, int] = {}
 
     def _row(self, src_leaf: int) -> list[_PendingMetric]:
         row = self._rows.get(src_leaf)
@@ -149,10 +155,13 @@ class CongestionFromLeafTable:
         if not 0 <= lbtag < self.num_lbtags:
             raise ValueError(f"LBTag {lbtag} out of range 0..{self.num_lbtags - 1}")
         cell = self._row(src_leaf)[lbtag]
-        if not cell.valid or cell.value != ce:
+        if (not cell.valid or cell.value != ce) and not cell.changed:
             cell.changed = True
+            self._changed_cells[src_leaf] = self._changed_cells.get(src_leaf, 0) + 1
+        if not cell.valid:
+            cell.valid = True
+            self._valid_cells[src_leaf] = self._valid_cells.get(src_leaf, 0) + 1
         cell.value = ce
-        cell.valid = True
 
     def select_feedback(self, src_leaf: int) -> tuple[int, int] | None:
         """Pick one (lbtag, metric) to piggyback toward ``src_leaf``.
@@ -164,25 +173,44 @@ class CongestionFromLeafTable:
         row = self._rows.get(src_leaf)
         if row is None:
             return None
+        n = self.num_lbtags
         start = self._rr_pointer.get(src_leaf, 0)
         chosen = None
         # First pass: prefer changed metrics, scanning round-robin order.
-        for offset in range(self.num_lbtags):
-            index = (start + offset) % self.num_lbtags
-            if row[index].valid and row[index].changed:
-                chosen = index
-                break
-        if chosen is None:
-            for offset in range(self.num_lbtags):
-                index = (start + offset) % self.num_lbtags
-                if row[index].valid:
+        # (changed implies valid — only record() sets either.)  Skipped
+        # entirely when the row's changed-cell count is zero.
+        if self._changed_cells.get(src_leaf, 0):
+            for index in range(start, n):
+                if row[index].changed:
                     chosen = index
                     break
+            else:
+                for index in range(start):
+                    if row[index].changed:
+                        chosen = index
+                        break
+        if chosen is None:
+            valid = self._valid_cells.get(src_leaf, 0)
+            if valid == n:
+                # Every cell valid: the first round-robin probe wins.
+                chosen = start
+            elif valid:
+                for index in range(start, n):
+                    if row[index].valid:
+                        chosen = index
+                        break
+                else:
+                    for index in range(start):
+                        if row[index].valid:
+                            chosen = index
+                            break
         if chosen is None:
             return None
-        self._rr_pointer[src_leaf] = (chosen + 1) % self.num_lbtags
+        self._rr_pointer[src_leaf] = (chosen + 1) % n
         cell = row[chosen]
-        cell.changed = False
+        if cell.changed:
+            cell.changed = False
+            self._changed_cells[src_leaf] -= 1
         return chosen, cell.value
 
     def leaves_owed_feedback(self) -> list[int]:
@@ -195,8 +223,8 @@ class CongestionFromLeafTable:
         """
         return [
             src_leaf
-            for src_leaf, row in sorted(self._rows.items())
-            if any(cell.valid and cell.changed for cell in row)
+            for src_leaf in sorted(self._rows)
+            if self._changed_cells.get(src_leaf, 0)
         ]
 
 

@@ -720,6 +720,65 @@ class AdHocGridRule(Rule):
         return None
 
 
+class HotPathClosureRule(Rule):
+    """S205 — per-packet hot paths must not allocate closures or lambdas."""
+
+    rule_id = "S205"
+    title = "no closure/lambda allocation in core/sim/net method bodies"
+    rationale = (
+        "the kernel dispatches hundreds of thousands of events per second "
+        "through core/, sim/, and net/ methods; a lambda or nested def in a "
+        "method body allocates a fresh function object (plus a cell per "
+        "captured variable) on every invocation — exactly the per-packet "
+        "allocation the calendar-queue kernel and fused transmit path were "
+        "built to avoid.  Hoist the callable to a bound method or "
+        "module-level function; dunder methods (``__init__`` and friends) "
+        "run at setup/reporting time and are exempt."
+    )
+    paper_ref = "repo perf contract (BENCH_kernel.json events/sec gate)"
+    scopes = ("core", "sim", "net")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                name = method.name
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # setup/reporting dunders, never per-packet
+                yield from self._check_method(module, cls.name, method)
+
+    def _check_method(
+        self,
+        module: ModuleContext,
+        class_name: str,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        where = f"{class_name}.{method.name}"
+        for node in ast.walk(method):
+            if isinstance(node, ast.Lambda):
+                yield self.violation(
+                    module,
+                    node,
+                    f"lambda allocated inside hot-path method {where}; "
+                    "every call builds a fresh function object — hoist it "
+                    "to a bound method or module-level function",
+                )
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not method
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"nested function {node.name!r} defined inside hot-path "
+                    f"method {where}; every call allocates the closure — "
+                    "hoist it to a bound method or module-level function",
+                )
+
+
 #: Every shipped rule, in catalog order.
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -732,6 +791,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FrozenSpecRule(),
     RegistryWriteRule(),
     AdHocGridRule(),
+    HotPathClosureRule(),
 )
 
 
@@ -760,6 +820,7 @@ __all__ = [
     "AdHocOutputRule",
     "FloatAccumulationRule",
     "FrozenSpecRule",
+    "HotPathClosureRule",
     "RandomModuleRule",
     "RegistryWriteRule",
     "ScheduleCallbackRule",

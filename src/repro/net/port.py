@@ -7,6 +7,16 @@ a packet finishing transmission at one port propagates (after the link's
 propagation delay) to the peer port and is handed to the peer's node via
 ``node.receive(packet, port)``.
 
+Transmission is driven as a *packet train*: while the queue is backlogged,
+one self-continuing boundary event (:meth:`Port._advance`) both finishes
+the packet on the wire and dequeues its successor at the same instant,
+rescheduling itself one serialization delay later.  Every dequeue still
+happens at its true boundary time — ECN marking and drop decisions see the
+queue occupancy they would under a per-packet (dequeue, finish) event pair
+— and the per-packet ``on_transmit`` hooks fire once per packet in FIFO
+order, so the batching is invisible to behaviour and to the obs plane (see
+DESIGN.md "Event kernel").
+
 Link failures (the asymmetry scenarios of Figs. 7(b), 11, 14, 16) are
 injected by :meth:`Port.fail`, which silently discards traffic in both
 directions, exactly like a cut cable.  Partial degradation — the
@@ -72,6 +82,35 @@ class Port:
         senders are window-limited).
     """
 
+    __slots__ = (
+        "sim",
+        "node",
+        "index",
+        "rate_bps",
+        "nominal_rate_bps",
+        "queue",
+        "name",
+        "peer",
+        "propagation_delay",
+        "up",
+        "_transmitting",
+        "tx_packets",
+        "tx_bytes",
+        "rx_packets",
+        "rx_bytes",
+        "busy_time",
+        "lost_packets",
+        "_loss_probability",
+        "_loss_rng",
+        "dre",
+        "on_transmit",
+        "_ns_per_byte",
+        "_serialization_ns",
+        "_schedule_fast",
+        "_advance_ref",
+        "_arrive_ref",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -122,7 +161,7 @@ class Port:
         # Port events are never cancelled, so both per-hop events go through
         # the kernel's allocation-free fast path with prebound methods.
         self._schedule_fast = sim.schedule_fast
-        self._finish_ref = self._finish
+        self._advance_ref = self._advance
         self._arrive_ref = self._arrive
 
     # -- wiring ---------------------------------------------------------------
@@ -205,7 +244,12 @@ class Port:
     # -- egress ---------------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
-        """Queue ``packet`` for transmission; returns False if it was dropped."""
+        """Queue ``packet`` for transmission; returns False if it was dropped.
+
+        The enqueue mirrors :meth:`DropTailQueue.offer` inline (keep the two
+        in sync — tests/test_net.py covers both): every fabric hop passes
+        through here, and the method-call round trip was measurable.
+        """
         if not self.up or self.peer is None:
             # A down link drops silently; upper layers recover via timeouts.
             self.queue.stats.dropped_packets += 1
@@ -214,11 +258,34 @@ class Port:
             if tracer is not None and tracer.drop:
                 tracer.emit(self._drop_event(packet, "link-down"))
             return False
-        if not self.queue.offer(packet):
+        queue = self.queue
+        size = packet.size
+        occupancy = queue._bytes
+        if (
+            queue.capacity_bytes is not None
+            and occupancy + size > queue.capacity_bytes
+        ):
+            stats = queue.stats
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             tracer = self.sim.tracer
             if tracer is not None and tracer.drop:
                 tracer.emit(self._drop_event(packet, "queue-full"))
             return False
+        if (
+            queue.ecn_threshold_bytes is not None
+            and occupancy >= queue.ecn_threshold_bytes
+        ):
+            packet.ecn_ce = True
+            queue.stats.ecn_marked += 1
+        queue._queue.append(packet)
+        occupancy += size
+        queue._bytes = occupancy
+        stats = queue.stats
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        if occupancy > stats.max_bytes:
+            stats.max_bytes = occupancy
         if not self._transmitting:
             self._transmit_next()
         return True
@@ -233,14 +300,28 @@ class Port:
         )
 
     def _transmit_next(self) -> None:
-        packet = self.queue.poll()
-        if packet is None:
+        """Start a serialization train from an idle transmitter.
+
+        Dequeues the head packet (inline :meth:`DropTailQueue.poll` — keep
+        in sync) and schedules the train's single continuation event,
+        :meth:`_advance`, at the serialization boundary.
+        """
+        queue = self.queue
+        pending = queue._queue
+        if not pending:
             self._transmitting = False
             return
-        self._transmitting = True
-        for hook in self.on_transmit:
-            hook(packet)
+        packet = pending.popleft()
         size = packet.size
+        queue._bytes -= size
+        stats = queue.stats
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
+        self._transmitting = True
+        hooks = self.on_transmit
+        if hooks:
+            for hook in hooks:
+                hook(packet)
         if self._ns_per_byte:
             serialization = size * self._ns_per_byte
         else:
@@ -249,11 +330,23 @@ class Port:
                 serialization = transmission_time(size, self.rate_bps)
                 self._serialization_ns[size] = serialization
         self.busy_time += serialization
-        self._schedule_fast(serialization, self._finish_ref, packet)
+        self._schedule_fast(serialization, self._advance_ref, packet)
 
-    def _finish(self, packet: Packet) -> None:
+    def _advance(self, packet: Packet) -> None:
+        """Advance the serialization train at one boundary (single event).
+
+        ``packet`` just finished its wire time: finish bookkeeping runs
+        (tx counters, injected loss, propagation to the peer), then the next
+        queued packet begins serializing immediately — back-to-back packets
+        form a *train* driven by this one self-continuing event, with the
+        per-packet callbacks (DRE hooks, tracing) replayed in order at each
+        packet's true serialization-start time.  Dequeues stay at boundary
+        times, so queue-occupancy-dependent behavior (ECN marking, drops)
+        is bit-identical to the unfused two-callback implementation.
+        """
+        size = packet.size
         self.tx_packets += 1
-        self.tx_bytes += packet.size
+        self.tx_bytes += size
         if self._loss_probability > 0.0 and (
             self._loss_probability >= 1.0
             or self._loss_rng.random() < self._loss_probability
@@ -262,12 +355,35 @@ class Port:
             tracer = self.sim.tracer
             if tracer is not None and tracer.drop:
                 tracer.emit(self._drop_event(packet, "loss"))
-            self._transmit_next()
+        else:
+            peer = self.peer
+            if peer is not None and self.up:
+                self._schedule_fast(self.propagation_delay, peer._arrive_ref, packet)
+        # Continue the train: inline head dequeue (mirror of poll()).
+        queue = self.queue
+        pending = queue._queue
+        if not pending:
+            self._transmitting = False
             return
-        peer = self.peer
-        if peer is not None and self.up:
-            self._schedule_fast(self.propagation_delay, peer._arrive_ref, packet)
-        self._transmit_next()
+        packet = pending.popleft()
+        size = packet.size
+        queue._bytes -= size
+        stats = queue.stats
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
+        hooks = self.on_transmit
+        if hooks:
+            for hook in hooks:
+                hook(packet)
+        if self._ns_per_byte:
+            serialization = size * self._ns_per_byte
+        else:
+            serialization = self._serialization_ns.get(size)
+            if serialization is None:
+                serialization = transmission_time(size, self.rate_bps)
+                self._serialization_ns[size] = serialization
+        self.busy_time += serialization
+        self._schedule_fast(serialization, self._advance_ref, packet)
 
     # -- ingress --------------------------------------------------------------
 

@@ -14,7 +14,7 @@ from repro.core.series import DecimatedSeries
 from repro.net.packet import Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters accumulated over a queue's lifetime.
 
@@ -47,6 +47,8 @@ class DropTailQueue:
         When set, packets enqueued while the occupancy exceeds this
         threshold are CE-marked (DCTCP-style instantaneous marking).
     """
+
+    __slots__ = ("capacity_bytes", "ecn_threshold_bytes", "_queue", "_bytes", "stats")
 
     def __init__(
         self,

@@ -27,10 +27,10 @@ run's per-flow records (or the incast request durations), so a perf
 comparison between two checkouts can also assert the runs were
 *behaviourally* identical — "faster" never silently means "different".
 
-Benchmark file format (schema 1)::
+Benchmark file format (schema 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "quick": false,
       "baseline": {"<spec>": {... BenchResult fields ...}, ...},
       "results":  {"<spec>": {... BenchResult fields ...}, ...},
@@ -39,6 +39,9 @@ Benchmark file format (schema 1)::
 
 ``baseline`` is written once (first run, or ``--set-baseline``) and then
 left alone; ``results`` is refreshed by every ``repro bench`` invocation.
+Schema 2 adds ``alloc_blocks`` (net interpreter allocation-block delta
+over the run, from :func:`sys.getallocatedblocks`) to each result;
+:func:`compare_bench` tolerates schema-1 files that lack it.
 """
 
 from __future__ import annotations
@@ -61,7 +64,7 @@ from repro.units import megabytes, milliseconds, seconds
 BENCH_FILENAME = "BENCH_kernel.json"
 
 #: Current layout version of the benchmark file.
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 
 def _peak_rss_kb() -> int:
@@ -79,13 +82,22 @@ def _peak_rss_kb() -> int:
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Outcome of one benchmark spec execution."""
+    """Outcome of one benchmark spec execution.
+
+    ``alloc_blocks`` is the net change in live interpreter allocation
+    blocks over the run (:func:`sys.getallocatedblocks` after minus
+    before): a leak/retention metric, not a churn rate.  It is stable
+    across machines (unlike RSS, which depends on the allocator and prior
+    process history), so it is the number the regression gate watches for
+    "this kernel now retains more memory per run".
+    """
 
     name: str
     events_executed: int
     wall_seconds: float
     events_per_sec: float
     peak_rss_kb: int
+    alloc_blocks: int
     sim_end_time: int
     digest: str
 
@@ -94,7 +106,8 @@ class BenchResult:
         return (
             f"  {self.name:<24} {self.events_executed:>12,} events  "
             f"{self.wall_seconds:>7.2f}s  {self.events_per_sec / 1e3:>8.0f}k ev/s  "
-            f"rss {self.peak_rss_kb / 1024:.0f} MiB  digest {self.digest[:12]}"
+            f"rss {self.peak_rss_kb / 1024:.0f} MiB  "
+            f"allocs {self.alloc_blocks / 1e3:+.0f}k  digest {self.digest[:12]}"
         )
 
 
@@ -126,10 +139,12 @@ def _run_incast_rto(quick: bool) -> BenchResult:
         request_bytes=megabytes(5 if quick else 50),
         repeats=1 if quick else 3,
     )
+    blocks_before = sys.getallocatedblocks()
     started = perf_counter()
     client.start()
     sim.run(until=seconds(120))
     wall = perf_counter() - started
+    alloc_blocks = sys.getallocatedblocks() - blocks_before
     digest = hashlib.sha256(
         ",".join(str(d) for d in client.result.request_durations).encode()
     ).hexdigest()
@@ -139,6 +154,7 @@ def _run_incast_rto(quick: bool) -> BenchResult:
         wall_seconds=wall,
         events_per_sec=sim.events_executed / wall if wall > 0 else 0.0,
         peak_rss_kb=_peak_rss_kb(),
+        alloc_blocks=alloc_blocks,
         sim_end_time=sim.now,
         digest=digest,
     )
@@ -160,13 +176,16 @@ def _run_fct_point(
         size_scale=spec_kwargs.pop("size_scale", 0.05),
         **spec_kwargs,
     )
+    blocks_before = sys.getallocatedblocks()
     point = spec.run()
+    alloc_blocks = sys.getallocatedblocks() - blocks_before
     return BenchResult(
         name=name,
         events_executed=point.events_executed,
         wall_seconds=point.wall_seconds,
         events_per_sec=point.events_per_sec,
         peak_rss_kb=_peak_rss_kb(),
+        alloc_blocks=alloc_blocks,
         sim_end_time=point.end_time,
         digest=records_digest(list(point.records)),
     )
@@ -256,6 +275,146 @@ def write_bench_file(
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
+
+
+# -- comparisons ---------------------------------------------------------------
+
+#: Maximum tolerated events/sec drop between two compared benchmark files
+#: before :func:`compare_bench` flags a regression (fractional: 0.03 == 3%).
+COMPARE_REGRESSION_TOLERANCE = 0.03
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Per-spec outcome of comparing two benchmark files (old vs new)."""
+
+    name: str
+    old_events_per_sec: float
+    new_events_per_sec: float
+    speedup: float  # new / old; 0.0 when the old side is missing or zero
+    digest_match: bool | None  # None when either side lacks a digest
+    old_events: int | None
+    new_events: int | None
+    regression: bool
+    error: str | None  # non-None: comparison is invalid, not just slower
+
+    def row(self) -> str:
+        """One aligned human-readable comparison line."""
+        flag = "!! REGRESSION" if self.regression else ""
+        if self.error:
+            flag = f"!! {self.error}"
+        match = {True: "same", False: "DIFFERENT", None: "n/a"}[self.digest_match]
+        return (
+            f"  {self.name:<24} {self.old_events_per_sec / 1e3:>8.0f}k -> "
+            f"{self.new_events_per_sec / 1e3:>8.0f}k ev/s  "
+            f"{self.speedup:>5.2f}x  digest {match:<9} {flag}".rstrip()
+        )
+
+
+def compare_bench(
+    old_payload: dict,
+    new_payload: dict,
+    *,
+    tolerance: float = COMPARE_REGRESSION_TOLERANCE,
+) -> list[BenchComparison]:
+    """Compare the ``results`` blocks of two benchmark files spec by spec.
+
+    Returns one :class:`BenchComparison` per spec present in *either* file,
+    sorted by name.  A spec regresses when its new events/sec falls more
+    than ``tolerance`` below the old.  When both sides carry digests and
+    they match, the runs executed the same behaviour — so their event
+    counts must be equal too; a mismatch there means the kernel is
+    miscounting (the drift bug this field exists to catch) and is reported
+    as an ``error`` rather than a perf delta.  Schema-1 files that predate
+    ``alloc_blocks`` (or carry no digest) compare fine: missing fields
+    degrade to ``None`` instead of raising.
+    """
+    old_results = old_payload.get("results") or {}
+    new_results = new_payload.get("results") or {}
+    rows: list[BenchComparison] = []
+    for name in sorted(set(old_results) | set(new_results)):
+        old = old_results.get(name) or {}
+        new = new_results.get(name) or {}
+        old_eps = float(old.get("events_per_sec") or 0.0)
+        new_eps = float(new.get("events_per_sec") or 0.0)
+        speedup = new_eps / old_eps if old_eps > 0 else 0.0
+        old_digest = old.get("digest")
+        new_digest = new.get("digest")
+        digest_match = (
+            (old_digest == new_digest)
+            if old_digest is not None and new_digest is not None
+            else None
+        )
+        old_events = old.get("events_executed")
+        new_events = new.get("events_executed")
+        error = None
+        if not old:
+            error = "missing from old file"
+        elif not new:
+            error = "missing from new file"
+        elif (
+            digest_match
+            and old_events is not None
+            and new_events is not None
+            and old_events != new_events
+        ):
+            error = (
+                f"identical digests but {old_events} != {new_events} events "
+                "(kernel event accounting drift)"
+            )
+        regression = (
+            error is None and old_eps > 0 and new_eps < old_eps * (1.0 - tolerance)
+        )
+        rows.append(
+            BenchComparison(
+                name=name,
+                old_events_per_sec=old_eps,
+                new_events_per_sec=new_eps,
+                speedup=round(speedup, 3),
+                digest_match=digest_match,
+                old_events=old_events,
+                new_events=new_events,
+                regression=regression,
+                error=error,
+            )
+        )
+    return rows
+
+
+def comparison_failed(rows: list[BenchComparison]) -> bool:
+    """True when any compared spec regressed or had an invalid comparison."""
+    return any(row.regression or row.error for row in rows)
+
+
+# -- profiling -----------------------------------------------------------------
+
+
+def profile_bench(
+    output: str | Path,
+    *,
+    quick: bool = False,
+    specs: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, BenchResult]:
+    """Run the benchmark specs under :mod:`cProfile`, dumping pstats to ``output``.
+
+    The profile covers the full bench run (all requested specs in one
+    session) so cross-spec hotspots aggregate naturally; load the dump
+    with ``python -m pstats`` or snakeviz-compatible tools.  Profiled
+    events/sec are roughly 3-4x slower than unprofiled — never write
+    profiled numbers into the benchmark file (this function deliberately
+    does not).
+    """
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        results = run_bench(quick=quick, specs=specs, progress=progress)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(str(output))
+    return results
 
 
 # -- observability overhead ---------------------------------------------------
@@ -401,12 +560,17 @@ __all__ = [
     "BENCH_FILENAME",
     "BENCH_SCHEMA",
     "BENCH_SPECS",
+    "COMPARE_REGRESSION_TOLERANCE",
     "DISABLED_OVERHEAD_TOLERANCE",
     "TRACE_OVERHEAD_SPEC",
+    "BenchComparison",
     "BenchResult",
     "TraceOverheadResult",
     "assert_disabled_overhead",
+    "compare_bench",
+    "comparison_failed",
     "load_bench_file",
+    "profile_bench",
     "run_bench",
     "run_trace_overhead",
     "write_bench_file",

@@ -95,7 +95,9 @@ class LeafSwitch(Node):
             ecn_threshold=ecn_threshold,
         )
         dre = DRE(self.sim, rate_bps, self.params, name=port.name)
-        port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        # The fused DRE hook is bound directly — no per-port closure, one
+        # call per packet (decay + increment + CE stamp, §3.2).
+        port.on_transmit.append(dre.measure)
         port.dre = dre  # so rate changes (Port.set_rate) retarget it
         self.uplinks.append(port)
         self.uplink_spine.append(spine)
@@ -158,13 +160,6 @@ class LeafSwitch(Node):
             self.tep.encapsulate(control, peer_leaf, lbtag=choice)
             self.uplinks[choice].send(control)
             self.explicit_feedback_sent += 1
-
-    @staticmethod
-    def _measure(packet: Packet, dre: DRE) -> None:
-        dre.on_transmit(packet.size)
-        header = packet.overlay
-        if header is not None:
-            header.ce = max(header.ce, dre.metric())
 
     # -- CONGA state accessors --------------------------------------------------
 

@@ -61,20 +61,15 @@ class SpineSwitch(Node):
         )
         dre = DRE(self.sim, rate_bps, self.params, name=port.name)
         self.dres.append(dre)
-        port.on_transmit.append(lambda packet, d=dre: self._measure(packet, d))
+        # Fused DRE hook, bound directly (no per-port closure): one call
+        # per packet does decay + increment + CE stamp (§3.3 step 2).
+        port.on_transmit.append(dre.measure)
         port.dre = dre  # so rate changes (Port.set_rate) retarget it
         self._leaf_ports.setdefault(leaf_id, []).append(port.index)
         # New wiring changes reachability fabric-wide (leaf candidate caches
         # consult this spine via can_reach), so bump the global epoch.
         _port_mod._bump_topology_epoch()
         return port
-
-    @staticmethod
-    def _measure(packet: Packet, dre: DRE) -> None:
-        dre.on_transmit(packet.size)
-        header = packet.overlay
-        if header is not None:
-            header.ce = max(header.ce, dre.metric())
 
     # -- forwarding -----------------------------------------------------------
 

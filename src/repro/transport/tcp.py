@@ -295,15 +295,21 @@ class TcpSender:
 
     def _try_send(self) -> None:
         mss = self.params.mss
+        source = self.source
+        # cwnd and snd_una are stable for the duration of this burst (they
+        # only move on ACK/timeout), so resolve the window once.
+        window = self._window()
         while True:
-            available = self.source.available()
+            available = source.available()
             if self.snd_nxt >= available:
-                self.source.request(self, mss)
-                available = self.source.available()
+                source.request(self, mss)
+                available = source.available()
                 if self.snd_nxt >= available:
                     break
-            segment = min(mss, available - self.snd_nxt)
-            if self.inflight + segment > self._window():
+            segment = available - self.snd_nxt
+            if segment > mss:
+                segment = mss
+            if self.snd_nxt - self.snd_una + segment > window:
                 break
             self._send_segment(self.snd_nxt, segment)
             self.snd_nxt += segment
@@ -541,6 +547,11 @@ class TcpReceiver:
     def _absorb(self, start: int, end: int) -> None:
         if end <= self.rcv_nxt:
             return  # pure duplicate
+        if start <= self.rcv_nxt and not self._out_of_order:
+            # In-order arrival with no reassembly backlog — the overwhelmingly
+            # common case; skip the sort/merge machinery entirely.
+            self.rcv_nxt = end
+            return
         self._out_of_order.append((max(start, self.rcv_nxt), end))
         self._out_of_order.sort()
         merged: list[tuple[int, int]] = []

@@ -336,6 +336,73 @@ def test_s204_allows_sweep_grid_idiom():
 
 
 # ---------------------------------------------------------------------------
+# S205 — no closure/lambda allocation in core/sim/net hot-path methods
+# ---------------------------------------------------------------------------
+
+
+def test_s205_flags_lambda_in_method():
+    violations = lint_snippet(
+        "class Port:\n"
+        "    def send(self, packet):\n"
+        "        hook = lambda p: p.size\n"
+        "        return hook(packet)\n",
+        path="repro/net/port.py",
+    )
+    assert rule_ids(violations) == ["S205"]
+    assert violations[0].line == 3
+    assert "Port.send" in violations[0].message
+
+
+def test_s205_flags_nested_def_in_method():
+    violations = lint_snippet(
+        "class DRE:\n"
+        "    def measure(self, packet):\n"
+        "        def decay(register):\n"
+        "            return register * 0.5\n"
+        "        return decay(packet.size)\n",
+        path="repro/core/dre.py",
+    )
+    assert rule_ids(violations) == ["S205"]
+    assert "decay" in violations[0].message
+
+
+def test_s205_exempts_dunder_methods():
+    assert lint_snippet(
+        "class Simulator:\n"
+        "    def __init__(self):\n"
+        "        self.key = lambda e: e.time\n"
+        "    def __repr__(self):\n"
+        "        fmt = lambda t: str(t)\n"
+        "        return fmt(0)\n",
+        path="repro/sim/kernel.py",
+    ) == []
+
+
+def test_s205_allows_module_level_functions_and_comprehensions():
+    assert lint_snippet(
+        "def build_table(alpha):\n"
+        "    decay = lambda k: (1 - alpha) ** k\n"
+        "    return tuple(decay(k) for k in range(4))\n"
+        "class DRE:\n"
+        "    def metric(self):\n"
+        "        return sum(x for x in (1, 2))\n",
+        path="repro/core/dre.py",
+    ) == []
+
+
+def test_s205_only_patrols_hot_packages():
+    source = (
+        "class Report:\n"
+        "    def render(self, rows):\n"
+        "        return sorted(rows, key=lambda r: r.name)\n"
+    )
+    assert lint_snippet(source, path="repro/analysis/report.py") == []
+    assert rule_ids(
+        lint_snippet(source, path="repro/net/report.py")
+    ) == ["S205"]
+
+
+# ---------------------------------------------------------------------------
 # R301 — print / logging on simulator code paths
 # ---------------------------------------------------------------------------
 
@@ -444,7 +511,7 @@ def test_rule_catalog_metadata_complete():
     ids = [rule.rule_id for rule in ALL_RULES]
     assert ids == sorted(ids) == [
         "D101", "D102", "D103", "D104", "D105", "R301", "S201", "S202",
-        "S203", "S204",
+        "S203", "S204", "S205",
     ]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale and rule.paper_ref

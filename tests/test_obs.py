@@ -374,6 +374,7 @@ class TestOverheadGate:
                     wall_seconds=1000 / eps,
                     events_per_sec=eps,
                     peak_rss_kb=4096,
+                    alloc_blocks=0,
                     sim_end_time=1,
                     digest="d" * 64,
                 )

@@ -8,21 +8,30 @@ from repro.perf import (
     BENCH_SCHEMA,
     BENCH_SPECS,
     BenchResult,
+    compare_bench,
+    comparison_failed,
     load_bench_file,
     run_bench,
     write_bench_file,
 )
 
 
-def _result(name: str, ev_per_sec: float) -> BenchResult:
+def _result(
+    name: str,
+    ev_per_sec: float,
+    *,
+    events: int = 1000,
+    digest: str = "d" * 64,
+) -> BenchResult:
     return BenchResult(
         name=name,
-        events_executed=1000,
-        wall_seconds=1000 / ev_per_sec,
+        events_executed=events,
+        wall_seconds=events / ev_per_sec,
         events_per_sec=ev_per_sec,
         peak_rss_kb=4096,
+        alloc_blocks=1234,
         sim_end_time=123,
-        digest="d" * 64,
+        digest=digest,
     )
 
 
@@ -67,6 +76,89 @@ class TestBenchFile:
         notdict = tmp_path / "list.json"
         notdict.write_text("[1, 2]")
         assert load_bench_file(notdict) is None
+
+
+def _payload(*results: BenchResult) -> dict:
+    from dataclasses import asdict
+
+    return {"schema": BENCH_SCHEMA, "results": {r.name: asdict(r) for r in results}}
+
+
+class TestCompareBench:
+    def test_speedup_and_no_regression(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0)), _payload(_result("a", 150.0))
+        )
+        assert len(rows) == 1
+        assert rows[0].speedup == 1.5
+        assert not rows[0].regression
+        assert rows[0].digest_match is True
+        assert not comparison_failed(rows)
+
+    def test_regression_beyond_tolerance_flags(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0)), _payload(_result("a", 96.0))
+        )
+        assert rows[0].regression
+        assert comparison_failed(rows)
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0)), _payload(_result("a", 98.0))
+        )
+        assert not rows[0].regression
+        assert not comparison_failed(rows)
+
+    def test_matching_digests_require_equal_event_counts(self):
+        # The satellite-1 drift bug: behaviourally identical runs reporting
+        # different events_executed is a kernel accounting error, not perf.
+        rows = compare_bench(
+            _payload(_result("a", 100.0, events=1000)),
+            _payload(_result("a", 100.0, events=1003)),
+        )
+        assert rows[0].error is not None
+        assert "accounting drift" in rows[0].error
+        assert comparison_failed(rows)
+
+    def test_different_digests_allow_different_event_counts(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0, events=1000, digest="a" * 64)),
+            _payload(_result("a", 100.0, events=1003, digest="b" * 64)),
+        )
+        assert rows[0].error is None
+        assert rows[0].digest_match is False
+
+    def test_missing_spec_is_an_error(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0)),
+            _payload(_result("b", 100.0)),
+        )
+        by_name = {r.name: r for r in rows}
+        assert by_name["a"].error == "missing from new file"
+        assert by_name["b"].error == "missing from old file"
+        assert comparison_failed(rows)
+
+    def test_schema1_results_without_new_fields_compare(self):
+        # Old checkouts wrote schema-1 files with no alloc_blocks and, in
+        # the earliest versions, no digest; comparing must degrade, not die.
+        old = {
+            "schema": 1,
+            "results": {
+                "a": {"events_per_sec": 100.0, "events_executed": 1000}
+            },
+        }
+        rows = compare_bench(old, _payload(_result("a", 120.0)))
+        assert rows[0].speedup == 1.2
+        assert rows[0].digest_match is None
+        assert not comparison_failed(rows)
+
+    def test_rows_render(self):
+        rows = compare_bench(
+            _payload(_result("a", 100.0)), _payload(_result("a", 80.0))
+        )
+        line = rows[0].row()
+        assert "REGRESSION" in line
+        assert "0.80x" in line
 
 
 class TestRunBench:
