@@ -156,7 +156,7 @@ class DRE:
             tracer = self.sim.tracer
             if tracer is not None and tracer.dre:
                 tracer.emit(
-                    DreSampled(
+                    DreSampled(  # repro-lint: ignore[E302] -- tracer-gated: allocates only when dre tracing is enabled, never on the bare hot path (perf bench enforces <3% overhead)
                         time=self.sim.now,
                         link=self.name,
                         register=register,

@@ -9,16 +9,37 @@ before any simulation runs.
 Rule classes:
 
 * ``D1xx`` (determinism): wall-clock reads, ambient randomness, process-
-  dependent hashing, unordered iteration, float accumulation in loops.
+  dependent hashing, unordered iteration, float accumulation.
 * ``S2xx`` (simulation invariants): picklable event callbacks, frozen
   experiment specs, registry writes through the registration API.
 * ``R3xx`` (reporting discipline): no print()/logging on simulator code
   paths — signals go through the :mod:`repro.obs` plane.
+* ``E3xx`` (whole-program effects): transitive contracts enforced over
+  the interprocedural call graph (:mod:`repro.lint.effects`) — no
+  wall-clock/RNG/io reachable from kernel entry points (E301), no
+  allocation reachable from the per-packet train path (E302),
+  transitively picklable scheduled callbacks (E303), and no stale
+  suppression comments (E304).
 
 See DESIGN.md for the full catalog with paper references, and README.md
-for CLI usage.
+for CLI usage (``lint --effects``, ``callgraph``).
 """
 
+from repro.lint.callgraph import (
+    CallGraph,
+    ModuleSummary,
+    link_modules,
+    summarize_module,
+    summarize_paths,
+)
+from repro.lint.effects import (
+    EFFECT_RULE_CATALOG,
+    EFFECT_RULE_IDS,
+    EffectFinding,
+    EffectsReport,
+    analyze_effects,
+    dump_callgraph,
+)
 from repro.lint.engine import (
     LintReport,
     ModuleContext,
@@ -29,18 +50,37 @@ from repro.lint.engine import (
     lint_source,
 )
 from repro.lint.fixer import apply_suppressions
-from repro.lint.rules import ALL_RULES, UnknownRuleError, get_rules
+from repro.lint.rules import (
+    ALL_RULES,
+    UnknownRuleError,
+    get_rules,
+    resolve_select,
+)
+from repro.lint.sarif import sarif_document
 
 __all__ = [
     "ALL_RULES",
+    "CallGraph",
+    "EFFECT_RULE_CATALOG",
+    "EFFECT_RULE_IDS",
+    "EffectFinding",
+    "EffectsReport",
     "LintReport",
     "ModuleContext",
+    "ModuleSummary",
     "Rule",
     "UnknownRuleError",
     "Violation",
+    "analyze_effects",
     "apply_suppressions",
+    "dump_callgraph",
     "get_rules",
     "iter_python_files",
+    "link_modules",
     "lint_paths",
     "lint_source",
+    "resolve_select",
+    "sarif_document",
+    "summarize_module",
+    "summarize_paths",
 ]

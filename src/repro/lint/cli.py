@@ -1,14 +1,34 @@
-"""Argument handling for the ``conga-repro lint`` subcommand."""
+"""Argument handling for ``conga-repro lint`` and ``conga-repro callgraph``.
+
+Exit-code semantics (stable contract for CI and pre-commit hooks):
+
+* ``0`` — analysis ran and found nothing (clean tree).
+* ``1`` — analysis ran and at least one violation survived suppression
+  (per-file D/S/R rules, whole-program E3xx findings, or stale-waiver
+  E304 reports).
+* ``2`` — the analysis itself could not run: unknown ``--select`` token,
+  unreadable path, or an unwritable ``--sarif``/cache destination.
+
+``conga-repro callgraph`` is informational: it exits ``0`` after dumping
+witness chains (``2`` on usage errors), never ``1`` — gating belongs to
+``lint --effects``.
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
 import sys
+from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import LintReport, Violation, lint_paths
 from repro.lint.fixer import apply_suppressions
-from repro.lint.rules import ALL_RULES, UnknownRuleError, get_rules
+from repro.lint.rules import ALL_RULES, UnknownRuleError, resolve_select
+
+if TYPE_CHECKING:
+    from repro.lint.effects import EffectsReport
+    from repro.lint.rules import Rule
 
 
 def add_lint_parser(
@@ -20,8 +40,11 @@ def add_lint_parser(
         help="run the determinism / simulation-invariant static analyzer",
         description=(
             "AST-based static analysis enforcing the repo's determinism "
-            "contract (D1xx rules) and simulator invariants (S2xx rules). "
-            "See DESIGN.md for the rule catalog."
+            "contract (D1xx rules), simulator invariants (S2xx rules), "
+            "reporting discipline (R3xx), and — with --effects — the "
+            "whole-program E3xx contracts over the interprocedural call "
+            "graph.  See DESIGN.md for the rule catalog.  Exit codes: "
+            "0 clean, 1 findings, 2 usage/internal error."
         ),
     )
     parser.add_argument(
@@ -41,7 +64,55 @@ def add_lint_parser(
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids or family prefixes to run "
+            "(e.g. 'D101', 'E3', 'D,S2'); selecting an E3xx family "
+            "implies the whole-program effects pass"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "lint files with N worker processes (findings are reported in "
+            "deterministic (path, line, col, rule) order for any N)"
+        ),
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help=(
+            "additionally run the whole-program effect analysis "
+            "(call graph + transitive E301/E302/E303 checks and the E304 "
+            "stale-suppression check)"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help=(
+            "list every suppression comment with its staleness verdict "
+            "(implies the effects pass, which owns the evidence base)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report (GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=".repro-cache/lint-effects.json",
+        metavar="PATH",
+        help="effects-pass content-hash cache file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the effects-pass cache (cold analysis every run)",
     )
     parser.add_argument(
         "--list-rules",
@@ -60,13 +131,98 @@ def add_lint_parser(
     return parser
 
 
+def add_callgraph_parser(
+    subparsers: "argparse._SubParsersAction[argparse.ArgumentParser]",
+) -> argparse.ArgumentParser:
+    """Register the ``callgraph`` subcommand (witness-chain explorer)."""
+    parser = subparsers.add_parser(
+        "callgraph",
+        help="dump reachable-effect witness chains from kernel entry points",
+        description=(
+            "Links the whole-program call graph and prints, for each entry "
+            "point (kernel loop, per-packet train path, scheme callbacks, "
+            "scheduled callbacks and hooks), every effect it can reach with "
+            "the full witness chain: entry -> call -> ... -> effect site, "
+            "file:line per hop.  Informational: exits 0 (2 on errors)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        default=None,
+        metavar="PATTERN",
+        help=(
+            "fnmatch pattern over function qnames to use as entry points "
+            "(repeatable; default: the E301/E302 entry set plus every "
+            "registered callback)"
+        ),
+    )
+    parser.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        choices=(
+            "time",
+            "rng",
+            "hash",
+            "iter",
+            "float-acc",
+            "alloc",
+            "io",
+            "global-write",
+        ),
+        help="only show these effect kinds (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=".repro-cache/lint-effects.json",
+        metavar="PATH",
+        help="effects-pass content-hash cache file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the effects-pass cache",
+    )
+    parser.set_defaults(func=cmd_callgraph)
+    return parser
+
+
 def _print_rules() -> None:
-    for rule in ALL_RULES:
-        scope = ", ".join(rule.scopes) if rule.scopes else "src/repro (all)"
+    from repro.lint.effects import EFFECT_RULE_CATALOG
+
+    for rule in ALL_RULES + EFFECT_RULE_CATALOG:
+        if rule.scopes:
+            scope = ", ".join(rule.scopes)
+        elif rule.rule_id.startswith("E3"):
+            scope = "whole program (call graph over the analyzed paths)"
+        else:
+            scope = "src/repro (all)"
         print(f"{rule.rule_id}  {rule.title}")
         print(f"      scope: {scope}")
         print(f"      guards: {rule.rationale}")
         print(f"      derives from: {rule.paper_ref}")
+
+
+def _run_effects(args: argparse.Namespace) -> "EffectsReport":
+    from repro.lint.effects import analyze_effects
+
+    cache_path = None if args.no_cache else Path(args.cache)
+    return analyze_effects(args.paths, cache_path=cache_path)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -75,13 +231,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
         _print_rules()
         return 0
     try:
-        rules = get_rules(args.select)
+        file_rules, effect_ids = resolve_select(args.select)
     except UnknownRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    selected_effects = args.select is not None and bool(effect_ids)
+    run_effects = args.effects or args.show_suppressed or selected_effects
+    effect_filter = effect_ids if args.select is not None else None
+
     try:
-        report = lint_paths(args.paths, rules)
-    except FileNotFoundError as exc:
+        report, effects_report = _run_passes(
+            args, file_rules, run_effects, effect_filter
+        )
+    except (FileNotFoundError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -89,13 +251,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
         edited = apply_suppressions(report.violations)
         for path, count in edited.items():
             print(f"suppressed {count} line(s) in {path}")
-        report = lint_paths(args.paths, rules)  # re-check after edits
+        report, effects_report = _run_passes(  # re-check after edits
+            args, file_rules, run_effects, effect_filter
+        )
+
+    if args.sarif:
+        from repro.lint.sarif import sarif_document
+
+        findings = effects_report.findings if effects_report is not None else ()
+        finding_sites = {
+            (f.rule, f.site_path, f.site_line) for f in findings
+        }
+        plain = [
+            violation
+            for violation in report.violations
+            if (violation.rule, violation.path, violation.line) not in finding_sites
+        ]
+        document = sarif_document(plain, findings)
+        try:
+            Path(args.sarif).write_text(
+                json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
+            )
+        except OSError as exc:
+            print(f"error: cannot write SARIF to {args.sarif}: {exc}", file=sys.stderr)
+            return 2
 
     if args.output_format == "json":
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        document = report.to_json()
+        if effects_report is not None:
+            document["effects"] = effects_report.to_json()
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         for violation in report.violations:
             print(violation.format())
+        if args.show_suppressed and effects_report is not None:
+            for status in effects_report.suppressions:
+                where = f"{status.path}:{status.line}" if status.line else status.path
+                form = "ignore" if status.line else "ignore-file"
+                verdict = (
+                    f"STALE: {','.join(status.stale)}" if status.stale else "used"
+                )
+                print(f"{where}: {form}[{','.join(status.rules)}] {verdict}")
         summary = (
             f"{len(report.violations)} violation(s) in "
             f"{report.files_checked} file(s)"
@@ -106,4 +302,57 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-__all__ = ["add_lint_parser", "cmd_lint"]
+def _run_passes(
+    args: argparse.Namespace,
+    file_rules: "tuple[Rule, ...]",
+    run_effects: bool,
+    effect_filter: "tuple[str, ...] | None",
+) -> "tuple[LintReport, EffectsReport | None]":
+    """One lint round: per-file rules (maybe parallel) + optional effects."""
+    if file_rules:
+        report = lint_paths(args.paths, file_rules, jobs=args.jobs)
+    else:
+        report = LintReport(violations=[], files_checked=0)
+    effects_report = None
+    if run_effects:
+        effects_report = _run_effects(args)
+        merged: list[Violation] = list(report.violations)
+        merged.extend(effects_report.violations(effect_filter))
+        merged.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        report = LintReport(
+            violations=merged,
+            files_checked=max(report.files_checked, effects_report.files_checked),
+        )
+    return report, effects_report
+
+
+def cmd_callgraph(args: argparse.Namespace) -> int:
+    """Entry point for ``conga-repro callgraph``."""
+    from repro.lint.effects import dump_callgraph
+
+    try:
+        report = _run_effects(args)
+    except (FileNotFoundError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records = dump_callgraph(report, entries=args.entry, kinds=args.kind)
+    if args.output_format == "json":
+        print(json.dumps({"version": 1, "chains": records}, indent=2, sort_keys=True))
+        return 0
+    for record in records:
+        deferred = " (deferred)" if record["deferred"] else ""
+        chain = " -> ".join(
+            f"{hop['function']} ({hop['path']}:{hop['line']})"
+            for hop in record["chain"]
+        )
+        site = record["site"]
+        print(
+            f"{record['entry']}: {record['kind']}{deferred} "
+            f"{record['detail']} at {site['path']}:{site['line']}"
+        )
+        print(f"    {chain}")
+    print(f"{len(records)} reachable effect(s) from {report.files_checked} file(s)")
+    return 0
+
+
+__all__ = ["add_callgraph_parser", "add_lint_parser", "cmd_callgraph", "cmd_lint"]

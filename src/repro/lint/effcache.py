@@ -1,0 +1,116 @@
+"""Content-hash cache for the whole-program effects pass.
+
+The cache keeps the effects pass fast enough for a pre-commit hook and a
+CI budget of seconds:
+
+* **Per-file summaries** keyed by the sha256 of the file's bytes — an
+  unchanged file is never re-parsed or re-run through the per-file rule
+  evidence pass (:class:`~repro.lint.callgraph.ModuleSummary` is fully
+  JSON-serializable for exactly this reason).
+* **Propagation results + per-function fingerprints** from the previous
+  run — :func:`repro.lint.effects.propagate` re-propagates only the
+  strongly-connected components that can reach a changed function and
+  reuses the cached transitive effect sets everywhere else.
+
+The cache file is a single JSON document (default
+``.repro-cache/lint-effects.json``), safe to delete at any time; a stale
+or corrupt cache degrades to a cold run, never to wrong results — every
+reuse is guarded by a content hash or fingerprint comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.callgraph import ModuleSummary
+from repro.lint.effects import Witness
+
+#: Bumped whenever the summary or propagation schema changes; a mismatch
+#: invalidates the whole cache file.
+CACHE_SCHEMA = 3
+
+#: Default location, shared with the other build caches.
+DEFAULT_CACHE_PATH = Path(".repro-cache") / "lint-effects.json"
+
+
+class EffectCache:
+    """Load/store summaries and propagation results for one cache file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._files: dict[str, dict] = {}
+        self.propagation: dict[str, dict[str, Witness]] = {}
+        self.fingerprints: dict[str, str] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+            return
+        self._files = dict(data.get("files", {}))
+        self.fingerprints = dict(data.get("fingerprints", {}))
+        for qname, table in dict(data.get("propagation", {})).items():
+            decoded: dict[str, Witness] = {}
+            for key, value in table.items():
+                line, callee, callee_key, detail = value
+                decoded[key] = (line, callee, callee_key, detail)
+            self.propagation[qname] = decoded
+
+    def summary_for(self, display: str, content_hash: str) -> ModuleSummary | None:
+        """Cached summary for ``display`` if its content hash still matches."""
+        entry = self._files.get(display)
+        if entry is None or entry.get("hash") != content_hash:
+            return None
+        try:
+            return ModuleSummary.from_json(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_summary(
+        self, display: str, content_hash: str, summary: ModuleSummary
+    ) -> None:
+        entry = self._files.get(display)
+        if entry is not None and entry.get("hash") == content_hash:
+            return
+        self._files[display] = {"hash": content_hash, "summary": summary.to_json()}
+        self._dirty = True
+
+    def store_propagation(
+        self,
+        propagation: dict[str, dict[str, Witness]],
+        fingerprints: dict[str, str],
+    ) -> None:
+        if propagation != self.propagation or fingerprints != self.fingerprints:
+            self.propagation = propagation
+            self.fingerprints = fingerprints
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache atomically (best effort; failures are silent)."""
+        if not self._dirty:
+            return
+        document = {
+            "schema": CACHE_SCHEMA,
+            "files": self._files,
+            "fingerprints": self.fingerprints,
+            "propagation": {
+                qname: {key: list(value) for key, value in table.items()}
+                for qname, table in self.propagation.items()
+            },
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            return
+        self._dirty = False
+
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_PATH", "EffectCache"]

@@ -269,17 +269,46 @@ class LintReport:
         }
 
 
+def _lint_file_worker(task: tuple[str, str | None]) -> list[Violation]:
+    """Process-pool worker: lint one file with rules rebuilt from ids."""
+    from repro.lint.rules import get_rules
+
+    path_str, select = task
+    rules = get_rules(select)
+    path = Path(path_str)
+    return lint_source(path.read_text(encoding="utf-8"), rules, path=path)
+
+
 def lint_paths(
-    paths: Sequence[Path | str], rules: Sequence[Rule]
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule],
+    *,
+    jobs: int | None = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with ``rules``."""
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``jobs`` > 1 fans files out over a process pool; the final report is
+    sorted by ``(path, line, col, rule)`` after the merge, so the
+    ordering is deterministic for any worker count (including the serial
+    path) — CI diffs and golden outputs never depend on scheduling.
+    """
+    files = list(iter_python_files(paths))
     violations: list[Violation] = []
-    files = 0
-    for path in iter_python_files(paths):
-        files += 1
-        source = path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, rules, path=path))
-    return LintReport(violations=violations, files_checked=files)
+    if jobs is not None and jobs > 1 and len(files) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        select = ",".join(rule.rule_id for rule in rules)
+        tasks = [(str(path), select) for path in files]
+        workers = min(jobs, len(files))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk in pool.map(_lint_file_worker, tasks):
+                violations.extend(chunk)
+    else:
+        for path in files:
+            source = path.read_text(encoding="utf-8")
+            violations.extend(lint_source(source, rules, path=path))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return LintReport(violations=violations, files_checked=len(files))
 
 
 __all__ = [

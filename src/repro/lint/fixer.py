@@ -9,11 +9,23 @@ placeholder with an actual justification.
 
 Lines that already carry an ``ignore[...]`` comment get the new rule ids
 merged into the existing bracket instead of a second comment.
+
+Round-trip guarantees (covered by ``tests/test_lint_fixer.py``):
+
+* **Idempotent** — applying the same violations twice produces the same
+  bytes; merged brackets are sorted and deduplicated.
+* **Encoding-preserving** — the source encoding is detected from the
+  PEP 263 coding cookie / BOM (``tokenize.detect_encoding``) and the
+  file is rewritten in that encoding, BOM included.
+* **Newline-preserving** — lines are split on ``\\n`` only, without
+  universal-newline translation, so CRLF files stay CRLF.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -23,10 +35,14 @@ _EXISTING_RE = re.compile(
     r"(?P<prefix>#\s*repro-lint:\s*ignore\s*\[)(?P<rules>[A-Za-z0-9*,\s]+)(?P<suffix>\])"
 )
 
+#: Rules a suppression comment can never fix: parse errors need a real
+#: repair, and suppressing a stale-suppression report is self-defeating.
+_UNSUPPRESSABLE = frozenset({"E001", "E304"})
+
 
 def _merge_line(line: str, rules: Sequence[str]) -> str:
     """Append or merge a suppression comment for ``rules`` into ``line``."""
-    body = line.rstrip("\n")
+    body = line.rstrip("\r\n")
     newline = line[len(body):]
     match = _EXISTING_RE.search(body)
     if match is not None:
@@ -44,15 +60,25 @@ def _merge_line(line: str, rules: Sequence[str]) -> str:
     return body + newline
 
 
+def _split_lines(text: str) -> list[str]:
+    """Split on ``\\n`` only, keeping line terminators (CRLF-safe)."""
+    parts = text.split("\n")
+    lines = [part + "\n" for part in parts[:-1]]
+    if parts[-1]:
+        lines.append(parts[-1])
+    return lines
+
+
 def apply_suppressions(violations: Iterable[Violation]) -> dict[str, int]:
     """Insert suppression comments for ``violations``; returns lines edited per file.
 
-    Violations on the same line are merged into one comment.  Parse errors
-    (rule ``E001``) are never suppressed — they need a real fix.
+    Violations on the same line are merged into one comment.  Parse
+    errors (``E001``) and stale-waiver reports (``E304``) are never
+    suppressed — they need a real fix.
     """
     by_file: dict[str, dict[int, list[str]]] = {}
     for violation in violations:
-        if violation.rule == "E001":
+        if violation.rule in _UNSUPPRESSABLE:
             continue
         by_file.setdefault(violation.path, {}).setdefault(
             violation.line, []
@@ -61,12 +87,14 @@ def apply_suppressions(violations: Iterable[Violation]) -> dict[str, int]:
     edited: dict[str, int] = {}
     for path, by_line in sorted(by_file.items()):
         file_path = Path(path)
-        lines = file_path.read_text(encoding="utf-8").splitlines(keepends=True)
+        raw = file_path.read_bytes()
+        encoding, _ = tokenize.detect_encoding(io.BytesIO(raw).readline)
+        lines = _split_lines(raw.decode(encoding))
         for line_number, rules in by_line.items():
             index = line_number - 1
             if 0 <= index < len(lines):
                 lines[index] = _merge_line(lines[index], rules)
-        file_path.write_text("".join(lines), encoding="utf-8")
+        file_path.write_bytes("".join(lines).encode(encoding))
         edited[path] = len(by_line)
     return edited
 

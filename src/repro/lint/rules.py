@@ -799,19 +799,61 @@ class UnknownRuleError(ValueError):
     """Raised when ``--select`` names a rule id that does not exist."""
 
 
-def get_rules(select: str | None = None) -> tuple[Rule, ...]:
-    """The rule set to run; ``select`` is a comma-separated id list."""
+def resolve_select(
+    select: str | None,
+) -> tuple[tuple[Rule, ...], tuple[str, ...]]:
+    """Split a ``--select`` expression into (per-file rules, effect ids).
+
+    Tokens are comma-separated and may be exact rule ids (``D101``,
+    ``E302``) or family prefixes (``D`` → D101–D105, ``S2`` → S201–S205,
+    ``E3`` → the whole-program effect rules).  A token that matches
+    nothing in either catalog raises :class:`UnknownRuleError`.  With
+    ``select=None`` every per-file rule and every effect rule is
+    selected (callers decide separately whether the effects pass runs).
+    """
+    from repro.lint.effects import EFFECT_RULE_IDS  # deferred: avoids a cycle
+
     if select is None:
-        return ALL_RULES
-    wanted = [part.strip() for part in select.split(",") if part.strip()]
-    by_id = {rule.rule_id: rule for rule in ALL_RULES}
-    missing = [rule_id for rule_id in wanted if rule_id not in by_id]
-    if missing:
-        known = ", ".join(sorted(by_id))
-        raise UnknownRuleError(
-            f"unknown rule id(s) {', '.join(missing)}; known rules: {known}"
+        return ALL_RULES, EFFECT_RULE_IDS
+    tokens = [part.strip() for part in select.split(",") if part.strip()]
+    file_ids: list[str] = []
+    effect_ids: list[str] = []
+    unknown: list[str] = []
+    for token in tokens:
+        file_hits = [
+            rule.rule_id
+            for rule in ALL_RULES
+            if rule.rule_id == token or rule.rule_id.startswith(token)
+        ]
+        effect_hits = [
+            rule_id
+            for rule_id in EFFECT_RULE_IDS
+            if rule_id == token or rule_id.startswith(token)
+        ]
+        if not file_hits and not effect_hits:
+            unknown.append(token)
+            continue
+        file_ids.extend(hit for hit in file_hits if hit not in file_ids)
+        effect_ids.extend(hit for hit in effect_hits if hit not in effect_ids)
+    if unknown:
+        known = ", ".join(
+            sorted({rule.rule_id for rule in ALL_RULES} | set(EFFECT_RULE_IDS))
         )
-    return tuple(by_id[rule_id] for rule_id in wanted)
+        raise UnknownRuleError(
+            f"unknown rule id(s) {', '.join(unknown)}; known rules: {known}"
+        )
+    by_id = {rule.rule_id: rule for rule in ALL_RULES}
+    return tuple(by_id[rule_id] for rule_id in file_ids), tuple(effect_ids)
+
+
+def get_rules(select: str | None = None) -> tuple[Rule, ...]:
+    """The per-file rule set to run; ``select`` accepts ids and prefixes.
+
+    Effect-rule selectors (``E3``, ``E301``…) are valid tokens but
+    contribute no per-file rules — use
+    :func:`repro.lint.effects.analyze_effects` for those.
+    """
+    return resolve_select(select)[0]
 
 
 __all__ = [
@@ -829,4 +871,5 @@ __all__ = [
     "UnstableHashRule",
     "WallClockRule",
     "get_rules",
+    "resolve_select",
 ]

@@ -1,0 +1,147 @@
+"""SARIF 2.1.0 export for ``conga-repro lint`` (GitHub code scanning).
+
+One run, one driver (``conga-repro-lint``).  Per-file violations become
+plain results; whole-program effect findings additionally carry a
+``codeFlow`` whose thread-flow locations are the witness chain hops
+(entry point → call → … → effect site), which GitHub renders as a
+step-through path on the annotation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.lint.engine import Violation
+
+if TYPE_CHECKING:
+    from repro.lint.effects import EffectFinding
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_metadata() -> dict[str, dict[str, str]]:
+    from repro.lint.effects import EFFECT_RULE_CATALOG
+    from repro.lint.rules import ALL_RULES
+
+    catalog: dict[str, dict[str, str]] = {
+        "E001": {
+            "title": "file does not parse",
+            "rationale": "Unparseable files cannot be analyzed.",
+        }
+    }
+    for rule in ALL_RULES:
+        catalog[rule.rule_id] = {
+            "title": rule.title,
+            "rationale": rule.rationale,
+        }
+    for effect_rule in EFFECT_RULE_CATALOG:
+        catalog[effect_rule.rule_id] = {
+            "title": effect_rule.title,
+            "rationale": effect_rule.rationale,
+        }
+    return catalog
+
+
+def _location(path: str, line: int, col: int = 1, text: str | None = None) -> dict[str, Any]:
+    location: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(1, line), "startColumn": max(1, col)},
+        }
+    }
+    if text:
+        location["message"] = {"text": text}
+    return location
+
+
+def sarif_document(
+    violations: Sequence[Violation],
+    findings: "Iterable[EffectFinding]" = (),
+) -> dict[str, Any]:
+    """Build the SARIF document for per-file violations + effect findings.
+
+    ``findings`` are :class:`repro.lint.effects.EffectFinding` objects;
+    pass violations and findings disjointly (a finding renders its own
+    result — do not also pass its ``to_violation()`` form).
+    """
+    findings = list(findings)
+    used_rules: list[str] = []
+    results: list[dict] = []
+
+    for violation in violations:
+        if violation.rule not in used_rules:
+            used_rules.append(violation.rule)
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "level": "error",
+                "message": {"text": f"{violation.rule} {violation.message}"},
+                "locations": [
+                    _location(violation.path, violation.line, violation.col)
+                ],
+            }
+        )
+
+    for finding in findings:
+        if finding.rule not in used_rules:
+            used_rules.append(finding.rule)
+        thread_locations = [
+            {"location": _location(hop.path, hop.line, text=hop.qname)}
+            for hop in finding.chain
+        ]
+        thread_locations.append(
+            {
+                "location": _location(
+                    finding.site_path, finding.site_line, text=finding.detail
+                )
+            }
+        )
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": f"{finding.rule} {finding.message()}"},
+                "locations": [_location(finding.site_path, finding.site_line)],
+                "codeFlows": [
+                    {"threadFlows": [{"locations": thread_locations}]}
+                ],
+            }
+        )
+
+    metadata = _rule_metadata()
+    rules = []
+    for rule_id in sorted(used_rules):
+        info = metadata.get(rule_id, {"title": rule_id, "rationale": ""})
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": info["title"]},
+                "fullDescription": {"text": info["rationale"]},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "conga-repro-lint",
+                        "informationUri": (
+                            "https://github.com/conga-repro/conga-repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+__all__ = ["sarif_document"]

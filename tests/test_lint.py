@@ -516,6 +516,15 @@ def test_rule_catalog_metadata_complete():
     for rule in ALL_RULES:
         assert rule.title and rule.rationale and rule.paper_ref
 
+    from repro.lint import EFFECT_RULE_CATALOG
+
+    effect_ids = [rule.rule_id for rule in EFFECT_RULE_CATALOG]
+    assert effect_ids == ["E301", "E302", "E303", "E304"]
+    for rule in EFFECT_RULE_CATALOG:
+        assert rule.title and rule.rationale and rule.paper_ref
+    # No id collides between the per-file and whole-program catalogs.
+    assert not set(ids) & set(effect_ids)
+
 
 # ---------------------------------------------------------------------------
 # CLI: exit codes, JSON schema, --fix-suppress

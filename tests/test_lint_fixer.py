@@ -1,0 +1,135 @@
+"""Round-trip tests for ``--fix-suppress`` (``repro.lint.fixer``).
+
+The fixer's contract: applying suppressions is idempotent, preserves the
+source encoding (PEP 263 cookie / BOM) and newline style byte for byte,
+and the rewritten file survives a re-lint cleanly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths
+from repro.lint.engine import Violation
+from repro.lint.fixer import apply_suppressions
+
+D101_SOURCE = "import time\n\n\ndef now():\n    return time.time()\n"
+
+
+def lint_file(path: Path):
+    return lint_paths([path], ALL_RULES)
+
+
+def test_apply_then_relint_clean(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(D101_SOURCE, encoding="utf-8")
+    report = lint_file(target)
+    assert [v.rule for v in report.violations] == ["D101"]
+
+    edited = apply_suppressions(report.violations)
+    assert edited == {str(target): 1}
+    assert "# repro-lint: ignore[D101] -- triaged" in target.read_text(
+        encoding="utf-8"
+    )
+    assert lint_file(target).ok
+
+
+def test_apply_is_idempotent(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(D101_SOURCE, encoding="utf-8")
+    violations = lint_file(target).violations
+
+    apply_suppressions(violations)
+    first = target.read_bytes()
+    # Re-applying the same violations merges into the existing bracket
+    # (sorted, deduplicated) instead of stacking a second comment.
+    apply_suppressions(violations)
+    assert target.read_bytes() == first
+
+
+def test_merges_into_existing_bracket(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n\n\ndef now():\n"
+        "    return time.time()  # repro-lint: ignore[D102] -- fixture\n",
+        encoding="utf-8",
+    )
+    apply_suppressions(
+        [Violation(rule="D101", path=str(target), line=5, col=12, message="x")]
+    )
+    text = target.read_text(encoding="utf-8")
+    assert "ignore[D101,D102]" in text
+    assert text.count("repro-lint") == 1
+    assert lint_file(target).ok
+
+
+def test_crlf_newlines_preserved(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_bytes(D101_SOURCE.replace("\n", "\r\n").encode("utf-8"))
+    report = lint_file(target)
+    assert not report.ok
+
+    apply_suppressions(report.violations)
+    raw = target.read_bytes()
+    assert raw.count(b"\r\n") == D101_SOURCE.count("\n")
+    assert b"\n" not in raw.replace(b"\r\n", b"")
+    # The comment lands before the CRLF terminator, not after it.
+    assert b"ignore[D101] -- triaged\r\n" in raw
+    assert lint_file(target).ok
+
+
+def test_utf8_sig_bom_preserved(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_bytes(b"\xef\xbb\xbf" + D101_SOURCE.encode("utf-8"))
+    apply_suppressions(
+        [Violation(rule="D101", path=str(target), line=5, col=12, message="x")]
+    )
+    raw = target.read_bytes()
+    assert raw.startswith(b"\xef\xbb\xbf")
+    assert raw.count(b"\xef\xbb\xbf") == 1
+    assert b"ignore[D101]" in raw
+
+
+def test_latin1_coding_cookie_preserved(tmp_path):
+    target = tmp_path / "mod.py"
+    source = (
+        "# -*- coding: latin-1 -*-\n"
+        "# caf\xe9\n"
+        "import time\n\n\ndef now():\n"
+        "    return time.time()\n"
+    )
+    target.write_bytes(source.encode("latin-1"))
+    apply_suppressions(
+        [Violation(rule="D101", path=str(target), line=7, col=12, message="x")]
+    )
+    raw = target.read_bytes()
+    assert b"caf\xe9" in raw  # still latin-1, not re-encoded as utf-8
+    text = raw.decode("latin-1")
+    assert text.startswith("# -*- coding: latin-1 -*-\n")
+    assert "ignore[D101]" in text
+
+
+def test_final_line_without_newline(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_bytes(b"import time\n\n\ndef now():\n    return time.time()")
+    report = lint_file(target)
+    apply_suppressions(report.violations)
+    raw = target.read_bytes()
+    assert raw.endswith(b"ignore[D101] -- triaged")
+    assert lint_file(target).ok
+
+
+def test_same_line_violations_share_one_comment(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n\n\ndef f(x):\n"
+        "    return time.time() + hash(x)\n",
+        encoding="utf-8",
+    )
+    report = lint_file(target)
+    assert {v.rule for v in report.violations} == {"D101", "D103"}
+    apply_suppressions(report.violations)
+    text = target.read_text(encoding="utf-8")
+    assert "ignore[D101,D103]" in text
+    assert text.count("repro-lint") == 1
+    assert lint_file(target).ok
