@@ -1,6 +1,6 @@
 """Evaluation metrics: FCT statistics, throughput imbalance, queue monitors."""
 
-from repro.analysis.degradation import DegradationSummary
+from repro.analysis.degradation import DegradationSummary, window_goodput
 from repro.analysis.fct import (
     FctSummary,
     LARGE_FLOW_BYTES,
@@ -36,4 +36,5 @@ __all__ = [
     "relative_to",
     "render_table",
     "summarize_series",
+    "window_goodput",
 ]

@@ -37,6 +37,20 @@ def _phase_goodput(
     return total * 8e9 / duration
 
 
+def window_goodput(records: Sequence[FlowRecord], start: int, end: int) -> float:
+    """Goodput (bits/sec) of ``records`` completing in ``[start, end)``.
+
+    The same completion-instant attribution the summary uses, exposed for
+    cross-run comparisons: a fault benchmark can score a faulted run's
+    in-window goodput against a *fault-free* run of the same spec over the
+    identical window, which sidesteps the ramp-up noise a run's own
+    pre-fault phase carries when the fault lands early.
+    """
+    return _phase_goodput(
+        [(r.start_time + r.fct, r.size) for r in records], start, end
+    )
+
+
 @dataclass(frozen=True)
 class DegradationSummary:
     """How one run behaved across its fault window.
@@ -57,6 +71,11 @@ class DegradationSummary:
     recovery_time: int | None
     retransmissions: int
     timeouts: int
+    #: Peak per-tier capacity asymmetry over the fault schedule, as sorted
+    #: (tier, fraction) pairs — e.g. ``(("core", 0.25), ("leaf", 0.0))``
+    #: for a run that lost a quarter of its spine↔core capacity.  Empty
+    #: when the caller has no injector bookkeeping to report.
+    tier_asymmetry: tuple[tuple[str, float], ...] = ()
 
     @staticmethod
     def from_records(
@@ -67,6 +86,7 @@ class DegradationSummary:
         end_time: int,
         retransmissions: int = 0,
         timeouts: int = 0,
+        tier_asymmetry: tuple[tuple[str, float], ...] = (),
         bin_width: int = milliseconds(1),
         recovery_fraction: float = 0.9,
     ) -> "DegradationSummary":
@@ -113,6 +133,7 @@ class DegradationSummary:
             recovery_time=recovery,
             retransmissions=retransmissions,
             timeouts=timeouts,
+            tier_asymmetry=tuple(tier_asymmetry),
         )
 
     @property
@@ -127,5 +148,22 @@ class DegradationSummary:
             return float("nan")
         return self.goodput_during_bps / self.goodput_before_bps
 
+    @property
+    def goodput_recovered(self) -> float:
+        """Post-restore goodput as a fraction of pre-fault goodput.
 
-__all__ = ["DegradationSummary"]
+        The recovery-matrix companion to :attr:`goodput_retained`: 1.0
+        means the fabric came all the way back after the window closed.
+        NaN when there was no pre-fault phase; 0.0 when the degradation
+        never cleared (``window_end`` is ``None``).
+        """
+        if self.goodput_before_bps <= 0.0:
+            return float("nan")
+        return self.goodput_after_bps / self.goodput_before_bps
+
+    def asymmetry_of(self, tier: str) -> float:
+        """Peak asymmetry recorded for ``tier`` (0.0 when never degraded)."""
+        return dict(self.tier_asymmetry).get(tier, 0.0)
+
+
+__all__ = ["DegradationSummary", "window_goodput"]

@@ -8,6 +8,9 @@ definitions mirror §5's comparison set:
 * ``ecmp`` — static hashing, plain TCP;
 * ``conga`` — CONGA with the default 500 µs flowlet timeout, plain TCP;
 * ``conga-flow`` — CONGA with a 13 ms timeout (one decision per flow);
+* ``caft`` — CONGA extended with liveness/residual-rate path weighting and
+  accelerated stale-feedback re-probing (3-tier fault tolerance; pod
+  spines also swap blind inter-pod ECMP for the weighted flowlet choice);
 * ``mptcp`` — ECMP in the fabric, MPTCP with 8 subflows at the hosts;
 * ``local`` — the local-congestion-aware strawman of §2.4;
 * ``spray`` — per-packet round-robin spraying;
@@ -31,6 +34,7 @@ from repro.apps.traffic import (
     tcp_flow_factory,
 )
 from repro.lb import (
+    CaftSelector,
     CentralizedScheduler,
     CentralizedSelector,
     CongaFlowSelector,
@@ -39,6 +43,7 @@ from repro.lb import (
     LocalAwareSelector,
     PacketSpraySelector,
 )
+from repro.lb.caft import enable_fault_awareness
 from repro.faults.events import FaultEvent
 from repro.faults.injector import FaultInjector
 from repro.lb.base import SelectorFactory
@@ -46,6 +51,7 @@ from repro.obs.config import ObsSpec
 from repro.sim import Simulator
 from repro.switch.fabric import Fabric
 from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine, scaled_testbed
+from repro.topology.multipod import MultiPodConfig, build_multipod
 from repro.transport.tcp import FlowRecord, TcpParams
 from repro.workloads.distributions import FlowSizeDistribution
 from repro.units import milliseconds, seconds
@@ -116,6 +122,12 @@ for _spec in (
     SchemeSpec("ecmp", EcmpSelector.factory, _tcp),
     SchemeSpec("conga", CongaSelector.factory, _tcp),
     SchemeSpec("conga-flow", CongaFlowSelector.factory, _tcp),
+    SchemeSpec(
+        "caft",
+        CaftSelector.factory,
+        _tcp,
+        post_setup=enable_fault_awareness,
+    ),
     SchemeSpec("mptcp", EcmpSelector.factory, _mptcp),
     SchemeSpec("local", LocalAwareSelector.factory, _tcp),
     SchemeSpec("spray", PacketSpraySelector.factory, _tcp),
@@ -177,7 +189,7 @@ def execute_experiment(
     workload: FlowSizeDistribution,
     load: float,
     *,
-    config: LeafSpineConfig | None = None,
+    config: LeafSpineConfig | MultiPodConfig | None = None,
     seed: int = 1,
     num_flows: int = 400,
     size_scale: float = 0.1,
@@ -199,6 +211,10 @@ def execute_experiment(
     test needs live ``Simulator``/``Fabric`` access or callable monitor
     hooks that the picklable spec cannot carry.
 
+    ``config`` selects the fabric: a :class:`LeafSpineConfig` builds the
+    2-tier testbed, a :class:`~repro.topology.multipod.MultiPodConfig` the
+    3-tier pods-plus-core fabric of §7 (where core-tier fault targets and
+    the ``caft`` scheme's pod-spine weighting become meaningful).
     ``failed_links`` is a list of (leaf_id, spine_id, which) tuples failed
     before traffic starts — e.g. ``[(1, 1, 0)]`` reproduces Figure 7(b).
     ``faults`` is a schedule of :class:`repro.faults.FaultEvent` values: a
@@ -216,7 +232,10 @@ def execute_experiment(
         # Attach before any component is built so construction-time events
         # (e.g. time-0 fault applications) are captured too.
         sim.tracer = obs.make_tracer()
-    fabric = build_leaf_spine(sim, config)
+    if isinstance(config, MultiPodConfig):
+        fabric: Fabric = build_multipod(sim, config)
+    else:
+        fabric = build_leaf_spine(sim, config)
     fabric.finalize(spec.make_selector())
     if spec.post_setup is not None:
         spec.post_setup(sim, fabric)

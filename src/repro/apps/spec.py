@@ -40,6 +40,7 @@ from repro.obs.config import ObsSpec
 from repro.obs.metrics import MetricsReport, collect_run_metrics
 from repro.obs.trace import TraceLog
 from repro.topology.leafspine import LeafSpineConfig
+from repro.topology.multipod import MultiPodConfig
 from repro.transport.tcp import FlowRecord, TcpParams
 from repro.units import milliseconds, seconds
 from repro.workloads import WORKLOADS
@@ -197,7 +198,7 @@ class ExperimentSpec:
     num_flows: int = 400
     size_scale: float = 0.1
     clients: tuple[int, ...] | None = None
-    config: LeafSpineConfig | None = None
+    config: LeafSpineConfig | MultiPodConfig | None = None
     tcp_params: TcpParams = field(default_factory=TcpParams)
     failed_links: tuple[tuple[int, int, int], ...] = ()
     #: Scheduled fault events (see :mod:`repro.faults`) — part of the spec,
@@ -333,6 +334,11 @@ class PointResult:
     imbalance_series: ImbalanceSeries | None = None
     retransmissions: int = 0
     timeouts: int = 0
+    #: Peak per-tier capacity asymmetry the run's fault schedule produced,
+    #: as sorted (tier, fraction) pairs from
+    #: :meth:`repro.faults.FaultInjector.tier_asymmetry`; empty for
+    #: fault-free runs.
+    tier_asymmetry: tuple[tuple[str, float], ...] = ()
     from_cache: bool = False
     #: Frozen metrics snapshot of the run (kernel/port/tcp/... counters
     #: under dotted names); always populated for fresh runs.
@@ -368,6 +374,11 @@ class PointResult:
             imbalance_series=live.imbalance.snapshot() if live.imbalance else None,
             retransmissions=live.retransmissions,
             timeouts=live.timeouts,
+            tier_asymmetry=(
+                live.injector.tier_asymmetry()
+                if live.injector is not None
+                else ()
+            ),
             metrics=collect_run_metrics(live),
             trace=(
                 live.sim.tracer.snapshot() if live.sim.tracer is not None else None
@@ -430,6 +441,7 @@ class PointResult:
             end_time=self.end_time,
             retransmissions=self.retransmissions,
             timeouts=self.timeouts,
+            tier_asymmetry=self.tier_asymmetry,
             recovery_fraction=recovery_fraction,
             **kwargs,
         )

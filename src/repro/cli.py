@@ -358,7 +358,9 @@ def _add_point_arguments(
                      help="fail a leaf-spine link (repeatable)")
     cmd.add_argument("--fault", action="append", metavar="FAULT",
                      help="schedule a fault event, e.g. link_down@0.1s:l0-s1, "
-                          "link_degrade@5ms:l1-s0=0.25, blackout@1ms:spine1+2ms "
+                          "link_degrade@5ms:l1-s0=0.25, blackout@1ms:spine1+2ms; "
+                          "core-tier targets (multipod fabrics) use s1-c0, "
+                          "core1, or random_downs@0:core=3 "
                           "(repeatable; see repro.faults.parse_fault)")
     cmd.add_argument("--scenario", default=None, metavar="FILE",
                      help="load the point from a scenario YAML instead of "

@@ -115,6 +115,18 @@ class CongestionToLeafTable:
             )
         return aged
 
+    def age_of(self, dst_leaf: int, lbtag: int) -> int | None:
+        """Nanoseconds since feedback last refreshed (``dst_leaf``, ``lbtag``).
+
+        ``None`` for a never-updated cell — a path CONGA is still probing
+        optimistically, which staleness-aware schemes (``caft``) must not
+        penalize the way they penalize a path whose feedback *stopped*.
+        """
+        cell = self._row(dst_leaf)[lbtag]
+        if not cell.valid:
+            return None
+        return self.sim.now - cell.updated_at
+
     def metrics_toward(self, dst_leaf: int) -> list[int]:
         """All aged uplink metrics toward ``dst_leaf`` as a list by LBTag."""
         return [self.metric(dst_leaf, tag) for tag in range(self.num_uplinks)]

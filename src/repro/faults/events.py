@@ -37,7 +37,8 @@ if TYPE_CHECKING:
 _TIME_UNITS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
 
 _LINK_TARGET = re.compile(r"^l(\d+)-s(\d+)(?:\.(\d+))?$")
-_SWITCH_TARGET = re.compile(r"^(leaf|spine)(\d+)$")
+_CORE_LINK_TARGET = re.compile(r"^s(\d+)-c(\d+)(?:\.(\d+))?$")
+_SWITCH_TARGET = re.compile(r"^(leaf|spine|core)(\d+)$")
 
 
 @dataclass(frozen=True)
@@ -72,25 +73,38 @@ class FaultEvent:
 
 @dataclass(frozen=True)
 class LinkDown(FaultEvent):
-    """Fail the ``which``-th parallel leaf↔spine link (cut-cable, Fig. 7b)."""
+    """Fail the ``which``-th parallel fabric link (cut-cable, Fig. 7b).
+
+    With ``core=None`` (the default) the target is the leaf↔spine link
+    ``(leaf, spine)``; with ``core`` set it is the spine↔core link
+    ``(spine, core)`` of a multi-pod fabric and ``leaf`` is ignored.
+    """
 
     leaf: int = 0
     spine: int = 0
     which: int = 0
+    core: int | None = None
 
     def apply(self, injector: "FaultInjector") -> None:
+        if self.core is not None:
+            injector.core_link_port(self.spine, self.core, self.which).fail()
+            return
         injector.fabric.fail_link(self.leaf, self.spine, self.which)
 
 
 @dataclass(frozen=True)
 class LinkUp(FaultEvent):
-    """Restore a previously failed leaf↔spine link."""
+    """Restore a previously failed fabric link (see :class:`LinkDown`)."""
 
     leaf: int = 0
     spine: int = 0
     which: int = 0
+    core: int | None = None
 
     def apply(self, injector: "FaultInjector") -> None:
+        if self.core is not None:
+            injector.core_link_port(self.spine, self.core, self.which).restore()
+            return
         injector.fabric.restore_link(self.leaf, self.spine, self.which)
 
     def restores(self) -> bool:
@@ -112,6 +126,7 @@ class LinkDegrade(FaultEvent):
     spine: int = 0
     which: int = 0
     fraction: float = 0.5
+    core: int | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -121,7 +136,7 @@ class LinkDegrade(FaultEvent):
             )
 
     def apply(self, injector: "FaultInjector") -> None:
-        injector.link_port(self.leaf, self.spine, self.which).degrade(self.fraction)
+        injector.target_port(self).degrade(self.fraction)
 
     def restores(self) -> bool:
         return self.fraction >= 1.0
@@ -145,6 +160,7 @@ class LinkLoss(FaultEvent):
     spine: int = 0
     which: int = 0
     probability: float = 0.01
+    core: int | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -154,7 +170,7 @@ class LinkLoss(FaultEvent):
             )
 
     def apply(self, injector: "FaultInjector") -> None:
-        port = injector.link_port(self.leaf, self.spine, self.which)
+        port = injector.target_port(self)
         for side in (port, port.peer):
             if side is None:
                 continue
@@ -208,11 +224,12 @@ class FeedbackLoss(FaultEvent):
 
 @dataclass(frozen=True)
 class SwitchBlackout(FaultEvent):
-    """Fail every port of one switch (``kind`` is ``"leaf"`` or ``"spine"``).
+    """Fail every port of one switch.
 
-    ``duration`` (ns) schedules a restore of all the switch's ports; note
-    the restore brings *every* port of the switch up, including any failed
-    earlier by other events.
+    ``kind`` is ``"leaf"``, ``"spine"``, or ``"core"`` (core switches only
+    exist in a multi-pod fabric).  ``duration`` (ns) schedules a restore of
+    all the switch's ports; note the restore brings *every* port of the
+    switch up, including any failed earlier by other events.
     """
 
     kind: str = "spine"
@@ -221,8 +238,10 @@ class SwitchBlackout(FaultEvent):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if self.kind not in ("leaf", "spine"):
-            raise ValueError(f"kind must be 'leaf' or 'spine', got {self.kind!r}")
+        if self.kind not in ("leaf", "spine", "core"):
+            raise ValueError(
+                f"kind must be 'leaf', 'spine', or 'core', got {self.kind!r}"
+            )
         if self.duration is not None and self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
 
@@ -239,25 +258,32 @@ class SwitchBlackout(FaultEvent):
 
 @dataclass(frozen=True)
 class RandomLinkDowns(FaultEvent):
-    """Fail ``count`` random leaf↔spine links (the Fig. 16 scenario).
+    """Fail ``count`` random links of one fabric tier (the Fig. 16 scenario).
 
     Uses :func:`repro.topology.fail_random_links`, so the failure set comes
     from the named ``stream`` of the run's own seed — machine- and
-    process-stable — and never disconnects a leaf entirely.
+    process-stable — and never disconnects a switch from its uplink tier.
+    ``tier="leaf"`` draws from leaf↔spine links; ``tier="core"`` from the
+    spine↔core links of a multi-pod fabric.
     """
 
     count: int = 1
     stream: str = "link-failures"
+    tier: str = "leaf"
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.count < 1:
             raise ValueError(f"count must be >= 1, got {self.count}")
+        from repro.topology.failures import TIERS
+
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
 
     def apply(self, injector: "FaultInjector") -> None:
-        from repro.topology.leafspine import fail_random_links
+        from repro.topology.failures import fail_random_links
 
-        fail_random_links(injector.fabric, self.count, self.stream)
+        fail_random_links(injector.fabric, self.count, self.stream, tier=self.tier)
 
 
 def fault_window(faults: tuple[FaultEvent, ...]) -> tuple[int, int | None] | None:
@@ -293,14 +319,24 @@ def _parse_time(text: str) -> int:
         ) from None
 
 
-def _parse_link(target: str, kind: str) -> tuple[int, int, int]:
+def _parse_link(target: str, kind: str) -> dict[str, int]:
+    """Link-target grammar → constructor kwargs for the Link* events.
+
+    ``l<leaf>-s<spine>[.<which>]`` addresses a leaf↔spine link;
+    ``s<spine>-c<core>[.<which>]`` a spine↔core link of a multi-pod fabric.
+    """
     match = _LINK_TARGET.match(target)
-    if match is None:
-        raise ValueError(
-            f"{kind} needs a link target like 'l1-s1' or 'l1-s1.0', got {target!r}"
-        )
-    leaf, spine, which = match.groups()
-    return int(leaf), int(spine), int(which or 0)
+    if match is not None:
+        leaf, spine, which = match.groups()
+        return {"leaf": int(leaf), "spine": int(spine), "which": int(which or 0)}
+    match = _CORE_LINK_TARGET.match(target)
+    if match is not None:
+        spine, core, which = match.groups()
+        return {"spine": int(spine), "core": int(core), "which": int(which or 0)}
+    raise ValueError(
+        f"{kind} needs a link target like 'l1-s1', 'l1-s1.0', or 's1-c0', "
+        f"got {target!r}"
+    )
 
 
 def parse_fault(text: str) -> FaultEvent:
@@ -308,13 +344,16 @@ def parse_fault(text: str) -> FaultEvent:
 
     Grammar: ``kind@TIME[:TARGET][=VALUE][~PROB][+DURATION]`` where TIME and
     DURATION take a unit suffix (``ns``/``us``/``ms``/``s``), TARGET is
-    ``l<leaf>-s<spine>[.<which>]`` for links or ``leaf<N>`` / ``spine<N>``
-    for switches, VALUE is a rate fraction (``link_degrade``) or a count
-    (``random_downs``), and PROB is a drop probability.  Examples::
+    ``l<leaf>-s<spine>[.<which>]`` or ``s<spine>-c<core>[.<which>]`` for
+    links, ``leaf<N>`` / ``spine<N>`` / ``core<N>`` for switches, or a tier
+    name (``leaf`` / ``core``) for ``random_downs``; VALUE is a rate
+    fraction (``link_degrade``) or a count (``random_downs``), and PROB is
+    a drop probability.  Core-tier targets need a multi-pod fabric.
+    Examples::
 
         link_down@0.1s:l0-s1         link_degrade@1ms:l1-s1.0=0.25
-        link_loss@0s:l1-s1~0.01      feedback_loss@0.5ms:leaf1~0.5+2ms
-        blackout@1ms:spine1+500us    random_downs@0s=9
+        link_loss@0s:s1-c0~1.0       feedback_loss@0.5ms:leaf1~0.5+2ms
+        blackout@1ms:core1+500us     random_downs@0s:core=3
     """
     kind, sep, rest = text.partition("@")
     if not sep or not kind:
@@ -336,23 +375,16 @@ def parse_fault(text: str) -> FaultEvent:
     time = _parse_time(time_text)
 
     if kind in ("link_down", "link_up"):
-        leaf, spine, which = _parse_link(target, kind)
         cls = LinkDown if kind == "link_down" else LinkUp
-        return cls(time=time, leaf=leaf, spine=spine, which=which)
+        return cls(time=time, **_parse_link(target, kind))
     if kind == "link_degrade":
-        leaf, spine, which = _parse_link(target, kind)
         if value is None:
             raise ValueError("link_degrade needs '=<fraction>'")
-        return LinkDegrade(
-            time=time, leaf=leaf, spine=spine, which=which, fraction=value
-        )
+        return LinkDegrade(time=time, fraction=value, **_parse_link(target, kind))
     if kind == "link_loss":
-        leaf, spine, which = _parse_link(target, kind)
         if prob is None:
             raise ValueError("link_loss needs '~<probability>'")
-        return LinkLoss(
-            time=time, leaf=leaf, spine=spine, which=which, probability=prob
-        )
+        return LinkLoss(time=time, probability=prob, **_parse_link(target, kind))
     if kind == "feedback_loss":
         leaf: int | None = None
         if target:
@@ -372,7 +404,8 @@ def parse_fault(text: str) -> FaultEvent:
         match = _SWITCH_TARGET.match(target)
         if match is None:
             raise ValueError(
-                f"blackout target must be 'leaf<N>' or 'spine<N>', got {target!r}"
+                "blackout target must be 'leaf<N>', 'spine<N>', or "
+                f"'core<N>', got {target!r}"
             )
         return SwitchBlackout(
             time=time,
@@ -383,7 +416,8 @@ def parse_fault(text: str) -> FaultEvent:
     if kind == "random_downs":
         if value is None:
             raise ValueError("random_downs needs '=<count>'")
-        return RandomLinkDowns(time=time, count=int(value))
+        tier = target or "leaf"
+        return RandomLinkDowns(time=time, count=int(value), tier=tier)
     raise ValueError(
         f"unknown fault kind {kind!r}; known kinds: link_down, link_up, "
         "link_degrade, link_loss, feedback_loss, blackout, random_downs"

@@ -44,6 +44,10 @@ class FaultInjector:
         self.faults = tuple(faults)
         #: Log of (simulated time, event) pairs in application order.
         self.applied: list[tuple[int, FaultEvent]] = []
+        #: Peak per-tier capacity asymmetry observed across the schedule:
+        #: tier name -> max over fault applications of the fraction of that
+        #: tier's nominal capacity unusable right after the event fired.
+        self.peak_tier_asymmetry: dict[str, float] = {}
         for event in self.faults:
             if not isinstance(event, FaultEvent):
                 raise TypeError(
@@ -57,6 +61,7 @@ class FaultInjector:
     def _apply(self, event: FaultEvent) -> None:
         event.apply(self)
         self.applied.append((self.sim.now, event))
+        self._snapshot_asymmetry()
         tracer = self.sim.tracer
         if tracer is not None and tracer.fault:
             cls = FaultRestored if event.restores() else FaultApplied
@@ -67,6 +72,31 @@ class FaultInjector:
                     fault=repr(event),
                 )
             )
+
+    def _snapshot_asymmetry(self) -> None:
+        """Fold the fabric's current per-tier asymmetry into the peaks.
+
+        Asymmetry here is 1 − aggregate residual capacity of the tier's
+        links (down, black-holed, and browned-out ports all count), the
+        quantity :class:`repro.analysis.DegradationSummary` reports per
+        tier.  Called once per applied fault event, so it is off every hot
+        path.
+        """
+        from repro.net.port import residual_capacity
+
+        peaks = self.peak_tier_asymmetry
+        asymmetry = 1.0 - residual_capacity(self.fabric.leaf_uplink_ports())
+        if asymmetry > peaks.get("leaf", 0.0):
+            peaks["leaf"] = asymmetry
+        core_ports = getattr(self.fabric, "spine_core_ports", None)
+        if core_ports is not None:
+            asymmetry = 1.0 - residual_capacity(core_ports())
+            if asymmetry > peaks.get("core", 0.0):
+                peaks["core"] = asymmetry
+
+    def tier_asymmetry(self) -> tuple[tuple[str, float], ...]:
+        """Sorted (tier, peak asymmetry) pairs for the run so far."""
+        return tuple(sorted(self.peak_tier_asymmetry.items()))
 
     # -- helpers used by event.apply() implementations -----------------------
 
@@ -79,6 +109,28 @@ class FaultInjector:
                 f"no link {which}"
             )
         return ports[which]
+
+    def core_link_port(self, spine: int, core: int, which: int) -> "Port":
+        """The spine-side port of the ``which``-th parallel spine↔core link."""
+        core_uplinks = getattr(self.fabric, "core_uplink_ports", None)
+        if core_uplinks is None:
+            raise ValueError(
+                "core-tier fault targets need a multi-pod fabric "
+                "(this fabric has no spine-core links)"
+            )
+        ports = core_uplinks(spine, core)
+        if which >= len(ports):
+            raise ValueError(
+                f"spine{spine}<->core{core} has {len(ports)} links, "
+                f"no link {which}"
+            )
+        return ports[which]
+
+    def target_port(self, event) -> "Port":
+        """Resolve a Link* event's target port across both link tiers."""
+        if event.core is not None:
+            return self.core_link_port(event.spine, event.core, event.which)
+        return self.link_port(event.leaf, event.spine, event.which)
 
     def set_feedback_loss(self, leaf: int | None, probability: float) -> None:
         """Configure feedback stripping at one leaf's TEP (or all TEPs)."""

@@ -1,6 +1,7 @@
-"""Load balancing schemes: ECMP, CONGA, CONGA-Flow, local-only, spraying."""
+"""Load balancing schemes: ECMP, CONGA, CONGA-Flow, CAFT, local, spraying."""
 
 from repro.lb.base import SelectorFactory, UplinkSelector
+from repro.lb.caft import CaftSelector
 from repro.lb.centralized import CentralizedScheduler, CentralizedSelector
 from repro.lb.conga import CongaFlowSelector, CongaSelector, LocalAwareSelector
 from repro.lb.ecmp import (
@@ -11,6 +12,7 @@ from repro.lb.ecmp import (
 )
 
 __all__ = [
+    "CaftSelector",
     "CentralizedScheduler",
     "CentralizedSelector",
     "CongaFlowSelector",

@@ -241,6 +241,29 @@ class Port:
         self._loss_probability = probability
         self._loss_rng = rng if 0.0 < probability < 1.0 else None
 
+    @property
+    def loss_probability(self) -> float:
+        """Injected per-packet loss probability on this direction.
+
+        Read-only view for fault-aware schemes (a detected grey failure is
+        part of the liveness signal CAFT-style control planes distribute);
+        mutate only through :meth:`set_loss`.
+        """
+        return self._loss_probability
+
+    def residual_fraction(self) -> float:
+        """Usable capacity as a fraction of the as-built rate.
+
+        0 when the link is down or administratively black-holed; otherwise
+        the current rate scaled by injected loss survival — the liveness /
+        residual-rate weight fault-aware load balancing multiplies in.
+        """
+        if not self.up:
+            return 0.0
+        return (
+            self.rate_bps * (1.0 - self._loss_probability) / self.nominal_rate_bps
+        )
+
     # -- egress ---------------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
@@ -397,6 +420,22 @@ class Port:
         return f"Port({self.name}, {self.rate_bps / 1e9:g}Gbps, up={self.up})"
 
 
+def residual_capacity(ports) -> float:
+    """Aggregate usable capacity of ``ports`` as a fraction of nominal.
+
+    Sums each port's :meth:`Port.residual_fraction` weighted by its as-built
+    rate; 1.0 means the group is fully healthy, 0.0 that every member is
+    down (or the group is empty).  Fault-aware load balancing uses this as
+    the liveness weight of a port group (e.g. a pod spine's core uplinks).
+    """
+    nominal = 0
+    effective = 0.0
+    for port in ports:
+        nominal += port.nominal_rate_bps
+        effective += port.residual_fraction() * port.nominal_rate_bps
+    return effective / nominal if nominal else 0.0
+
+
 def connect(
     a: Port,
     b: Port,
@@ -416,5 +455,6 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "Port",
     "connect",
+    "residual_capacity",
     "topology_epoch",
 ]

@@ -15,7 +15,8 @@ mirrors the places where CONGA behaviour is otherwise invisible:
   recovery at the hosts;
 * ``drop``     — :class:`PacketDropped`: where and why a packet died;
 * ``fault``    — :class:`FaultApplied` / :class:`FaultRestored`: the
-  fault plane's schedule firing.
+  fault plane's schedule firing; :class:`FaultRerouted`: the ``caft``
+  scheme's liveness weighting overriding the congestion choice.
 
 Events are plain values: picklable, comparable, and serializable to one
 JSON object each (see :func:`event_payload`), so traces cross process
@@ -181,6 +182,32 @@ class FaultRestored(TraceEvent):
     name: ClassVar[str] = "FaultRestored"
 
 
+@dataclass(frozen=True, slots=True)
+class FaultRerouted(TraceEvent):
+    """caft's liveness weighting overrode the pure congestion choice.
+
+    Emitted (gated on the ``fault`` category) whenever the ``caft`` scheme
+    picks a path whose raw CONGA metric is *not* minimal because residual
+    capacity / liveness weighting made a congestion-optimal candidate look
+    worse — i.e. the moment fault awareness, not congestion awareness,
+    steered the flowlet.  ``node`` names the deciding switch (a leaf or a
+    pod spine); ``healths[i]`` is the residual-capacity weight of
+    ``candidates[i]`` in ``[0, 1]``.
+    """
+
+    node: str
+    dst_leaf: int
+    flow_id: int
+    chosen: int
+    congestion_choice: int
+    candidates: tuple[int, ...]
+    metrics: tuple[int, ...]
+    healths: tuple[float, ...]
+
+    category: ClassVar[str] = "fault"
+    name: ClassVar[str] = "FaultRerouted"
+
+
 def event_payload(event: TraceEvent) -> dict[str, Any]:
     """One JSON-able dict per event: ``name``, ``cat``, then the fields.
 
@@ -201,6 +228,7 @@ __all__ = [
     "CongaTableUpdated",
     "DreSampled",
     "FaultApplied",
+    "FaultRerouted",
     "FaultRestored",
     "FlowletRerouted",
     "PacketDropped",

@@ -315,6 +315,14 @@ def collect_run_metrics(live: "ExperimentResult") -> MetricsReport:
             (getattr(s, "decisions", 0) for s in selectors),
         )
 
+    reroutes = sum(getattr(s, "fault_reroutes", 0) for s in selectors) + sum(
+        getattr(spine, "fault_reroutes", 0) for spine in live.fabric.spines
+    )
+    if reroutes:
+        # Leaf- plus pod-spine-level decisions where fault awareness (not
+        # congestion) steered the flowlet; only caft runs produce these.
+        registry.counter("lb.caft.fault_reroutes").value = reroutes
+
     if live.imbalance is not None:
         from repro.analysis.monitors import EmptySeriesError
 

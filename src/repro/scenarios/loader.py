@@ -26,6 +26,13 @@ The schema mirrors the value objects one-to-one (see EXPERIMENTS.md,
     params:                   # free-form knobs for benchmark code
       fan_ins: [1, 7, 15]
 
+A ``topology`` section containing any multipod-only key (``num_pods``,
+``leaves_per_pod``, ``spines_per_pod``, ``num_cores``, ``core_rate_bps``)
+compiles a 3-tier :class:`~repro.topology.multipod.MultiPodConfig` instead
+of a :class:`LeafSpineConfig`, and fault targets — including spine↔core
+links (``s1-c0``) and core switches — are range-checked against the
+compiled topology at load time.
+
 Every loader error is a :class:`ScenarioError` carrying the source file
 and the YAML line of the offending key — unknown keys, malformed CDFs,
 bad units, unresolvable scheme/workload names — so a typo'd scenario
@@ -53,6 +60,7 @@ from repro.faults.events import parse_fault
 from repro.obs.config import ObsSpec
 from repro.scenarios.scenario import Scenario, SeedPlan
 from repro.topology.leafspine import LeafSpineConfig
+from repro.topology.multipod import MultiPodConfig
 from repro.transport.tcp import TcpParams
 from repro.units import gbps, kilobytes, mbps, megabytes, microseconds
 from repro.units import gigabytes, milliseconds, nanoseconds, seconds
@@ -302,6 +310,23 @@ _TOPOLOGY_KEYS = frozenset(
         "fabric_queue_bytes", "ecn_threshold_bytes", "propagation_delay",
     )
 )
+_MULTIPOD_INT_KEYS = (
+    "num_pods", "leaves_per_pod", "spines_per_pod", "hosts_per_leaf",
+    "num_cores", "links_per_pair",
+)
+_MULTIPOD_KEYS = frozenset(
+    _MULTIPOD_INT_KEYS
+    + (
+        "host_rate_bps", "fabric_rate_bps", "core_rate_bps",
+        "host_queue_bytes", "fabric_queue_bytes", "ecn_threshold_bytes",
+        "propagation_delay",
+    )
+)
+#: Keys only a 3-tier topology has; any of them flips the ``topology``
+#: section to :class:`MultiPodConfig`.
+_MULTIPOD_ONLY_KEYS = frozenset(
+    {"num_pods", "leaves_per_pod", "spines_per_pod", "num_cores", "core_rate_bps"}
+)
 _TCP_INT_KEYS = (
     "mss", "initial_cwnd_segments", "dupack_threshold", "receive_window",
     "ack_every",
@@ -318,14 +343,23 @@ _WORKLOAD_KEYS = frozenset({"points"})
 
 def _build_topology(
     data: dict, path: _KeyPath, ctx: _Context
-) -> LeafSpineConfig:
-    _check_keys(data, _TOPOLOGY_KEYS, path, ctx)
+) -> LeafSpineConfig | MultiPodConfig:
+    """Build the topology config; multipod-only keys select the 3-tier one."""
+    multipod = any(str(key) in _MULTIPOD_ONLY_KEYS for key in data)
+    if multipod:
+        _check_keys(data, _MULTIPOD_KEYS, path, ctx)
+        int_keys: tuple[str, ...] = _MULTIPOD_INT_KEYS
+        rate_keys = ("host_rate_bps", "fabric_rate_bps", "core_rate_bps")
+    else:
+        _check_keys(data, _TOPOLOGY_KEYS, path, ctx)
+        int_keys = _TOPOLOGY_INT_KEYS
+        rate_keys = ("host_rate_bps", "fabric_rate_bps")
     kwargs: dict[str, Any] = {}
     for key, value in data.items():
         where = path + (key,)
-        if key in _TOPOLOGY_INT_KEYS:
+        if key in int_keys:
             kwargs[key] = _as_int(value, where, ctx)
-        elif key in ("host_rate_bps", "fabric_rate_bps"):
+        elif key in rate_keys:
             kwargs[key] = _parse_rate(value, where, ctx)
         elif key in (
             "host_queue_bytes", "fabric_queue_bytes", "ecn_threshold_bytes"
@@ -336,7 +370,7 @@ def _build_topology(
         else:  # propagation_delay
             kwargs[key] = _parse_duration(value, where, ctx)
     try:
-        return LeafSpineConfig(**kwargs)
+        return MultiPodConfig(**kwargs) if multipod else LeafSpineConfig(**kwargs)
     except ValueError as exc:
         raise ctx.error(str(exc), path) from exc
 
@@ -425,6 +459,79 @@ def _build_obs(data: dict, path: _KeyPath, ctx: _Context) -> ObsSpec:
         return ObsSpec(**kwargs)
     except ValueError as exc:
         raise ctx.error(str(exc), path) from exc
+
+
+def _validate_fault_targets(
+    spec: ExperimentSpec, path: _KeyPath, ctx: _Context
+) -> None:
+    """Range-check every fault's target against the compiled topology.
+
+    Resolves the template's topology (or the default scaled testbed) and
+    rejects out-of-range leaf/spine/core indices — and core-tier targets
+    aimed at a 2-tier fabric — at load time, with the fault's ``file:line``
+    attached, instead of a mid-sweep stack trace from the injector.
+    """
+    from repro.faults.events import (
+        FeedbackLoss,
+        RandomLinkDowns,
+        SwitchBlackout,
+    )
+    from repro.topology.leafspine import scaled_testbed
+
+    config = spec.config if spec.config is not None else scaled_testbed()
+    if isinstance(config, MultiPodConfig):
+        num_leaves = config.num_pods * config.leaves_per_pod
+        num_spines = config.num_pods * config.spines_per_pod
+        num_cores = config.num_cores
+    else:
+        num_leaves = config.num_leaves
+        num_spines = config.num_spines
+        num_cores = 0
+    links = config.links_per_pair
+
+    def check(index: int, limit: int, what: str, where: _KeyPath, event) -> None:
+        if not 0 <= index < limit:
+            raise ctx.error(
+                f"{what} {index} out of range for this topology "
+                f"(0..{limit - 1}) in fault {event!r}",
+                where,
+            )
+
+    def need_core(where: _KeyPath, event) -> None:
+        if num_cores == 0:
+            raise ctx.error(
+                "core-tier fault targets need a multipod topology "
+                f"(this scenario compiles a 2-tier fabric) in fault {event!r}",
+                where,
+            )
+
+    for i, event in enumerate(spec.faults):
+        where = path + ("faults", str(i))
+        if isinstance(event, RandomLinkDowns):
+            if event.tier == "core":
+                need_core(where, event)
+            continue
+        if isinstance(event, SwitchBlackout):
+            if event.kind == "core":
+                need_core(where, event)
+            limit = {
+                "leaf": num_leaves, "spine": num_spines, "core": num_cores,
+            }[event.kind]
+            check(event.switch, limit, f"{event.kind} switch", where, event)
+            continue
+        if isinstance(event, FeedbackLoss):
+            if event.leaf is not None:
+                check(event.leaf, num_leaves, "leaf", where, event)
+            continue
+        # The Link* family: leaf↔spine or (when .core is set) spine↔core.
+        if event.core is not None:
+            need_core(where, event)
+            check(event.spine, num_spines, "spine", where, event)
+            check(event.core, num_cores, "core", where, event)
+        else:
+            check(event.leaf, num_leaves, "leaf", where, event)
+            check(event.spine, num_spines, "spine", where, event)
+        check(event.which, links, "parallel link", where, event)
 
 
 def _build_template(
@@ -525,9 +632,11 @@ def _build_template(
             f"template is missing required keys: {', '.join(missing)}", path
         )
     try:
-        return ExperimentSpec(**kwargs)
+        spec = ExperimentSpec(**kwargs)
     except (TypeError, ValueError) as exc:
         raise ctx.error(str(exc), path) from exc
+    _validate_fault_targets(spec, path, ctx)
+    return spec
 
 
 def _build_seeds(

@@ -110,7 +110,10 @@ class Fabric:
             return list(self.leaves[switch_id].ports)
         if kind == "spine":
             return list(self.spines[switch_id].ports)
-        raise ValueError(f"kind must be 'leaf' or 'spine', got {kind!r}")
+        if kind == "core":
+            # MultiPodFabric overrides; a 2-tier fabric has no core tier.
+            raise ValueError("kind 'core' needs a multi-pod fabric (no core tier here)")
+        raise ValueError(f"kind must be 'leaf', 'spine', or 'core', got {kind!r}")
 
     # -- statistics -------------------------------------------------------------
 

@@ -96,6 +96,19 @@ class SpineSwitch(Node):
         """Whether at least one link toward ``leaf_id`` is up."""
         return bool(self.ports_to_leaf(leaf_id))
 
+    def path_health(self, leaf_id: int) -> float:
+        """Residual forwarding capacity toward ``leaf_id`` (fraction of nominal).
+
+        1.0 when every parallel downlink is healthy, 0.0 when the leaf is
+        unreachable.  Fault-aware selectors (the ``caft`` scheme) multiply
+        this into the CONGA path metric so asymmetry their DREs cannot see
+        — cut cables, black holes, brownouts past this hop — still repels
+        flowlets.
+        """
+        return _port_mod.residual_capacity(
+            self.ports[index] for index in self._leaf_ports.get(leaf_id, ())
+        )
+
     def receive(self, packet: Packet, port: Port) -> None:
         header = packet.overlay
         if header is None:

@@ -150,54 +150,10 @@ def build_leaf_spine(sim: Simulator, config: LeafSpineConfig = TESTBED) -> Fabri
     return fabric
 
 
-def fail_random_links(
-    fabric: Fabric,
-    count: int,
-    stream: str = "link-failures",
-    seed: int | None = None,
-) -> list:
-    """Fail ``count`` distinct random leaf-spine links (Figure 16 scenario).
-
-    Never disconnects a leaf entirely: links are drawn only from (leaf,
-    spine) pairs, and a candidate failure that would leave a leaf with no up
-    uplink is skipped.  Returns the failed leaf-side ports.
-
-    Which links fail follows the simulator's named-RNG-stream discipline:
-    the draw comes from a *fresh* generator seeded by ``(seed, stream)`` —
-    ``seed`` defaulting to the simulator's master seed — so the failure set
-    is a pure function of those two values, machine-stable (the stream name
-    is hashed with :func:`repro.net.hashing.stable_string_seed`, not
-    ``hash()``), and independent of any draws other components may have
-    taken from a same-named ``sim.rng`` stream earlier in setup.
-    """
-    import numpy as np
-
-    from repro.net.hashing import stable_string_seed
-
-    base = fabric.sim.seed if seed is None else seed
-    rng = np.random.default_rng(
-        np.random.SeedSequence((base, stable_string_seed(stream)))
-    )
-    all_ports = [port for leaf in fabric.leaves for port in leaf.uplinks]
-    order = rng.permutation(len(all_ports))
-    failed = []
-    for index in order:
-        if len(failed) >= count:
-            break
-        port = all_ports[int(index)]
-        leaf = port.node
-        up_count = sum(1 for p in leaf.uplinks if p.up)
-        if up_count <= 1 or not port.up:
-            continue
-        port.fail()
-        failed.append(port)
-    if len(failed) < count:
-        raise ValueError(
-            f"could only fail {len(failed)} of {count} links without "
-            "disconnecting a leaf"
-        )
-    return failed
-
+#: Re-export of the shared tier-aware helper (see
+#: :mod:`repro.topology.failures`); the leaf-tier draw is bit-identical to
+#: the implementation that historically lived here.
+from repro.topology.failures import fail_random_links  # noqa: E402
 
 __all__ = [
     "LeafSpineConfig",

@@ -27,11 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.dre import DRE
+from repro.core.flowlet import FlowletTable
 from repro.core.params import CongaParams, DEFAULT_PARAMS
 from repro.lb.ecmp import ecmp_hash
+from repro.net import port as _port_mod
 from repro.net.node import Host, Node
 from repro.net.packet import HEADER_BYTES, Packet
-from repro.net.port import DEFAULT_PROPAGATION_DELAY, Port, connect
+from repro.net.port import DEFAULT_PROPAGATION_DELAY, Port, connect, residual_capacity
+from repro.obs.events import FaultRerouted
 from repro.overlay.vxlan import VXLAN_OVERHEAD
 from repro.sim import Simulator
 from repro.switch.fabric import Fabric
@@ -80,6 +83,7 @@ class CoreSwitch(Node):
         self.core_id = core_id
         self.fabric = fabric
         self.params = params
+        self.dres: list[DRE] = []
         self._pod_ports: dict[int, list[int]] = {}
         self.dropped_unroutable = 0
 
@@ -95,14 +99,30 @@ class CoreSwitch(Node):
             rate_bps, queue_capacity,
             name=f"{self.name}->pod{pod}", ecn_threshold=ecn_threshold,
         )
-        dre = DRE(self.sim, rate_bps, self.params)
-        port.on_transmit.append(lambda packet, d=dre: _measure(packet, d))
+        dre = DRE(self.sim, rate_bps, self.params, name=port.name)
+        self.dres.append(dre)
+        # Fused DRE hook, bound directly (same idiom as the 2-tier
+        # switches): decay + increment + CE stamp in one call, and the
+        # estimator hangs off the port so rate changes (LinkDegrade via
+        # Port.set_rate) retarget it.
+        port.on_transmit.append(dre.measure)
+        port.dre = dre
         self._pod_ports.setdefault(pod, []).append(port.index)
         return port
 
     def ports_to_pod(self, pod: int) -> list[int]:
         """Indices of up ports toward ``pod``."""
         return [i for i in self._pod_ports.get(pod, []) if self.ports[i].up]
+
+    def pod_health(self, pod: int) -> float:
+        """Residual capacity toward ``pod`` as a fraction of nominal.
+
+        Down, black-holed, and degraded downlinks all reduce it — the
+        core's contribution to a path's liveness weight under ``caft``.
+        """
+        return residual_capacity(
+            self.ports[index] for index in self._pod_ports.get(pod, ())
+        )
 
     def receive(self, packet: Packet, port: Port) -> None:
         header = packet.overlay
@@ -133,6 +153,16 @@ class PodSpineSwitch(SpineSwitch):
         self.pod = pod
         self.fabric = fabric
         self._core_ports: list[int] = []
+        self._core_of: dict[int, CoreSwitch] = {}
+        self._core_route_cache: list[int] | None = None
+        self._core_route_epoch = -1
+        # Fault-aware core load balancing (the caft scheme): installed by
+        # enable_fault_aware_core_lb, off by default so ecmp/conga keep the
+        # paper's blind first-hop hashing at this tier.
+        self._fault_aware = False
+        self._flowlets: FlowletTable | None = None
+        self._lb_rng = None
+        self.fault_reroutes = 0
 
     def add_core_port(
         self,
@@ -146,20 +176,140 @@ class PodSpineSwitch(SpineSwitch):
             rate_bps, queue_capacity,
             name=f"{self.name}->{core.name}", ecn_threshold=ecn_threshold,
         )
-        dre = DRE(self.sim, rate_bps, self.params)
-        port.on_transmit.append(lambda packet, d=dre: _measure(packet, d))
+        dre = DRE(self.sim, rate_bps, self.params, name=port.name)
+        self.dres.append(dre)
+        # Fused hook + port.dre, matching add_leaf_port: one call per
+        # packet, and LinkDegrade's rate change retargets the estimator.
+        port.on_transmit.append(dre.measure)
+        port.dre = dre
         self._core_ports.append(port.index)
+        self._core_of[port.index] = core
+        # Core wiring changes inter-pod reachability (leaf candidate caches
+        # consult can_reach), so bump the global epoch like add_leaf_port.
+        _port_mod._bump_topology_epoch()
         return port
 
     def up_core_ports(self) -> list[int]:
-        """Indices of up core-facing ports."""
-        return [i for i in self._core_ports if self.ports[i].up]
+        """Indices of up core-facing ports (cached per topology epoch)."""
+        if self._core_route_epoch != _port_mod._topology_epoch:
+            self._core_route_cache = None
+            self._core_route_epoch = _port_mod._topology_epoch
+        cached = self._core_route_cache
+        if cached is None:
+            cached = [i for i in self._core_ports if self.ports[i].up]
+            self._core_route_cache = cached
+        return cached
+
+    def core_uplink_ports(self, core_id: int) -> list[Port]:
+        """This spine's ports toward core ``core_id``, in build order."""
+        return [
+            self.ports[index]
+            for index in self._core_ports
+            if self._core_of[index].core_id == core_id
+        ]
+
+    def core_uplinks(self) -> list[Port]:
+        """All core-facing ports of this spine, in build order."""
+        return [self.ports[index] for index in self._core_ports]
 
     def can_reach(self, leaf_id: int) -> bool:
         """Intra-pod: direct downlink; inter-pod: via any up core link."""
         if self.fabric.pod_of_leaf(leaf_id) == self.pod:
             return super().can_reach(leaf_id)
         return bool(self.up_core_ports())
+
+    def path_health(self, leaf_id: int) -> float:
+        """Residual capacity toward ``leaf_id`` across this spine's paths.
+
+        Intra-pod this is the 2-tier downlink health; inter-pod each core
+        uplink contributes its own residual fraction *times* the core's
+        health toward the destination pod, so a spine→core black hole, a
+        dead core switch, or a browned-out core→pod link all shrink it.
+        """
+        pod = self.fabric.pod_of_leaf(leaf_id)
+        if pod == self.pod:
+            return super().path_health(leaf_id)
+        nominal = 0
+        effective = 0.0
+        for index in self._core_ports:
+            port = self.ports[index]
+            nominal += port.nominal_rate_bps
+            effective += (
+                port.residual_fraction()
+                * self._core_of[index].pod_health(pod)
+                * port.nominal_rate_bps
+            )
+        return effective / nominal if nominal else 0.0
+
+    def enable_fault_aware_core_lb(self, params: CongaParams | None = None) -> None:
+        """Replace blind inter-pod ECMP with caft's weighted flowlet choice.
+
+        Installed by the ``caft`` scheme's post-setup hook.  Inter-pod
+        traffic then picks, per flowlet, the core uplink minimizing the
+        local DRE metric divided by the path's residual capacity — so a
+        black-holed or degraded spine→core link repels new flowlets even
+        though the leaf's 2-tier feedback loop cannot see it.  Tie-breaks
+        draw from the dedicated ``caft-spine-{id}`` stream.
+        """
+        self._fault_aware = True
+        self._flowlets = FlowletTable(self.sim, params or self.params)
+        self._lb_rng = self.sim.rng(f"caft-spine-{self.spine_id}")
+
+    def _choose_core_port(self, packet: Packet, dst_leaf: int, candidates: list[int]) -> int:
+        """caft's core-uplink choice: min DRE metric over residual health."""
+        pod = self.fabric.pod_of_leaf(dst_leaf)
+        entry = self._flowlets.lookup(packet.five_tuple)
+        if entry.valid and entry.port in candidates:
+            return entry.port
+        ports = self.ports
+        metrics: list[int] = []
+        healths: list[float] = []
+        for index in candidates:
+            port = ports[index]
+            metrics.append(port.dre.metric())
+            healths.append(
+                port.residual_fraction() * self._core_of[index].pod_health(pod)
+            )
+        # Same scoring rule as the leaf-level CaftSelector: the congestion
+        # metric scaled by residual capacity (idle degraded uplinks keep
+        # CONGA's optimistic 0; dead ones sink to inf).
+        scores = [
+            metric / health if health > 0.0 else float("inf")
+            for metric, health in zip(metrics, healths)
+        ]
+        best = min(scores)
+        ties = [c for c, s in zip(candidates, scores) if s == best]
+        previous = entry.port
+        if previous in ties:
+            # Same stickiness as §3.5: a flowlet only moves when a
+            # strictly better core uplink exists.
+            choice = previous
+        else:
+            choice = ties[int(self._lb_rng.integers(len(ties)))]
+        self._flowlets.install(entry, choice)
+        congestion_best = min(metrics)
+        chosen_metric = metrics[candidates.index(choice)]
+        if chosen_metric > congestion_best:
+            # Liveness weighting overrode the congestion argmin: the
+            # pure-CONGA choice would have steered into degraded capacity.
+            self.fault_reroutes += 1
+            tracer = self.sim.tracer
+            if tracer is not None and tracer.fault:
+                congestion_choice = candidates[metrics.index(congestion_best)]
+                tracer.emit(
+                    FaultRerouted(
+                        time=self.sim.now,
+                        node=self.name,
+                        dst_leaf=dst_leaf,
+                        flow_id=packet.flow_id,
+                        chosen=choice,
+                        congestion_choice=congestion_choice,
+                        candidates=tuple(candidates),
+                        metrics=tuple(metrics),
+                        healths=tuple(healths),
+                    )
+                )
+        return choice
 
     def receive(self, packet: Packet, port: Port) -> None:
         header = packet.overlay
@@ -173,15 +323,12 @@ class PodSpineSwitch(SpineSwitch):
         if not candidates:
             self.dropped_unroutable += 1
             return
+        if self._fault_aware:
+            choice = self._choose_core_port(packet, header.dst_leaf, candidates)
+            self.ports[choice].send(packet)
+            return
         index = ecmp_hash(packet.five_tuple, salt=3_000_017 + self.spine_id)
         self.ports[candidates[index % len(candidates)]].send(packet)
-
-
-def _measure(packet: Packet, dre: DRE) -> None:
-    dre.on_transmit(packet.size)
-    header = packet.overlay
-    if header is not None:
-        header.ce = max(header.ce, dre.metric())
 
 
 class MultiPodFabric(Fabric):
@@ -206,9 +353,60 @@ class MultiPodFabric(Fabric):
         for core in self.cores:
             yield from core.ports
 
+    def spine_core_ports(self):
+        """All spine-side core-uplink ports, in build order."""
+        for spine in self.spines:
+            yield from spine.core_uplinks()
+
     def fabric_ports(self):
         yield from super().fabric_ports()
         yield from self.core_ports()
+
+    # -- failure injection (core tier) ----------------------------------------
+
+    def core_uplink_ports(self, spine_id: int, core_id: int) -> list[Port]:
+        """Spine-side ports of the (possibly parallel) links spine↔core."""
+        if not 0 <= spine_id < len(self.spines):
+            raise ValueError(f"no spine {spine_id} in this fabric")
+        if not 0 <= core_id < len(self.cores):
+            raise ValueError(f"no core {core_id} in this fabric")
+        return self.spines[spine_id].core_uplink_ports(core_id)
+
+    def fail_core_link(self, spine_id: int, core_id: int, which: int = 0) -> Port:
+        """Fail the ``which``-th parallel link between a spine and a core.
+
+        Returns the failed (spine-side) port so tests can restore it.
+        """
+        ports = self.core_uplink_ports(spine_id, core_id)
+        if which >= len(ports):
+            raise ValueError(
+                f"spine{spine_id}<->core{core_id} has {len(ports)} links, "
+                f"cannot fail link {which}"
+            )
+        ports[which].fail()
+        return ports[which]
+
+    def restore_core_link(self, spine_id: int, core_id: int, which: int = 0) -> Port:
+        """Restore the ``which``-th parallel link between a spine and a core.
+
+        Returns the restored (spine-side) port.
+        """
+        ports = self.core_uplink_ports(spine_id, core_id)
+        if which >= len(ports):
+            raise ValueError(
+                f"spine{spine_id}<->core{core_id} has {len(ports)} links, "
+                f"cannot restore link {which}"
+            )
+        ports[which].restore()
+        return ports[which]
+
+    def switch_ports(self, kind: str, switch_id: int) -> list[Port]:
+        """Every port of one switch; adds ``"core"`` to the 2-tier kinds."""
+        if kind == "core":
+            if not 0 <= switch_id < len(self.cores):
+                raise ValueError(f"no core {switch_id} in this fabric")
+            return list(self.cores[switch_id].ports)
+        return super().switch_ports(kind, switch_id)
 
     def ideal_fct(self, src: int, dst: int, size: int, mss: int = 1460) -> int:
         src_leaf = self.leaf_of(src)

@@ -73,9 +73,11 @@ def test_event_validation():
     with pytest.raises(ValueError):
         FeedbackLoss(time=0, duration=0)
     with pytest.raises(ValueError):
-        SwitchBlackout(time=0, kind="core")
+        SwitchBlackout(time=0, kind="router")
     with pytest.raises(ValueError):
         RandomLinkDowns(time=0, count=0)
+    with pytest.raises(ValueError):
+        RandomLinkDowns(time=0, count=1, tier="aggregation")
 
 
 def test_parse_fault_round_trips():

@@ -1,8 +1,17 @@
-"""Golden determinism fixture for a faulted run (LinkDown/LinkUp mid-run).
+"""Golden determinism fixtures for faulted runs (LinkDown/LinkUp mid-run).
 
-Pins the sha256 digest of the complete per-flow FCT records for CONGA on a
-fixed-seed spec whose fabric loses a leaf1↔spine1 link mid-run and gets it
-back a millisecond later.  Two properties are enforced:
+Pins the sha256 digests of the complete per-flow FCT records for two
+fixed-seed faulted specs:
+
+* ``conga-linkdown-linkup`` — the original 2-tier fixture: CONGA on the
+  scaled testbed whose fabric loses a leaf1↔spine1 link mid-run and gets
+  it back a millisecond later;
+* ``caft-multipod-coredown`` — the 3-tier fixture: CAFT on a 2-pod fabric
+  whose spine1↔core0 link goes down mid-run and comes back, exercising
+  the core-tier fault targets, the pod-spine fault-aware core LB, and the
+  caft selector's liveness weighting under process fan-out.
+
+Two properties are enforced for each:
 
 * the digest is *bit-identical* whether the point runs inline (workers=0)
   or in a worker process pool — fault application rides the deterministic
@@ -25,6 +34,7 @@ from repro.analysis.fct import records_digest
 from repro.apps import ExperimentSpec
 from repro.faults import LinkDown, LinkUp
 from repro.runner import run_sweep
+from repro.topology.multipod import MultiPodConfig
 from repro.units import microseconds
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "fault_digests.json"
@@ -37,9 +47,17 @@ FAULTS = (
     LinkUp(time=microseconds(1500), leaf=1, spine=1, which=0),
 )
 
+#: The 3-tier bracket: pod 0's spine 1 loses its core 0 uplink over the
+#: same busy middle, so inter-pod flowlets reroute at both the leaf tier
+#: (away from s1) and the pod-spine tier (s1's survivors pile onto c1).
+MULTIPOD_FAULTS = (
+    LinkDown(time=microseconds(500), spine=1, core=0, which=0),
+    LinkUp(time=microseconds(1500), spine=1, core=0, which=0),
+)
+
 
 def golden_spec() -> ExperimentSpec:
-    """The frozen faulted spec the golden digest is computed from."""
+    """The frozen faulted 2-tier spec the original digest is computed from."""
     return ExperimentSpec(
         scheme="conga",
         workload="enterprise",
@@ -51,9 +69,30 @@ def golden_spec() -> ExperimentSpec:
     )
 
 
-def compute_entry() -> dict:
-    """Run the faulted golden spec inline and summarize it for the fixture."""
-    point = golden_spec().run()
+def multipod_spec() -> ExperimentSpec:
+    """The frozen faulted 3-tier spec: caft on the default 2-pod fabric."""
+    return ExperimentSpec(
+        scheme="caft",
+        workload="enterprise",
+        load=0.6,
+        seed=7,
+        num_flows=60,
+        size_scale=0.05,
+        config=MultiPodConfig(),
+        faults=MULTIPOD_FAULTS,
+    )
+
+
+#: fixture key -> spec factory; _update() regenerates every entry from this.
+GOLDEN_SPECS = {
+    "conga-linkdown-linkup": golden_spec,
+    "caft-multipod-coredown": multipod_spec,
+}
+
+
+def compute_entry(spec: ExperimentSpec) -> dict:
+    """Run a faulted golden spec inline and summarize it for the fixture."""
+    point = spec.run()
     assert point.summary is not None
     return {
         "digest": records_digest(list(point.records)),
@@ -73,9 +112,15 @@ def _load_golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
 
 
-def test_faulted_run_matches_fixture():
-    golden = _load_golden()["conga-linkdown-linkup"]
-    entry = compute_entry()
+@pytest.mark.parametrize("key", sorted(GOLDEN_SPECS))
+def test_faulted_run_matches_fixture(key):
+    golden_all = _load_golden()
+    assert key in golden_all, (
+        f"fixture entry {key!r} missing; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_faults.py --update`"
+    )
+    golden = golden_all[key]
+    entry = compute_entry(GOLDEN_SPECS[key]())
     assert entry["completed"] == golden["completed"]
     assert entry["arrivals"] == golden["arrivals"]
     assert entry["end_time"] == golden["end_time"]
@@ -83,9 +128,10 @@ def test_faulted_run_matches_fixture():
     assert entry["digest"] == golden["digest"]
 
 
-def test_faulted_digest_identical_across_worker_counts():
+@pytest.mark.parametrize("key", sorted(GOLDEN_SPECS))
+def test_faulted_digest_identical_across_worker_counts(key):
     """workers=0 (inline) and workers=2 (process pool) must agree exactly."""
-    spec = golden_spec()
+    spec = GOLDEN_SPECS[key]()
     inline = run_sweep([spec], workers=0, cache=None)
     pooled = run_sweep([spec], workers=2, cache=None)
     digest_inline = records_digest(list(inline.points[0].records))
@@ -96,15 +142,15 @@ def test_faulted_digest_identical_across_worker_counts():
 
 def _update() -> None:
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    entry = compute_entry()
-    GOLDEN_PATH.write_text(
-        json.dumps({"conga-linkdown-linkup": entry}, indent=2, sort_keys=True)
-        + "\n"
-    )
+    golden = json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+    for key, factory in GOLDEN_SPECS.items():
+        entry = compute_entry(factory())
+        golden[key] = entry
+        print(f"{key}: digest {entry['digest'][:16]}  "
+              f"{entry['completed']}/{entry['arrivals']} flows, "
+              f"end {entry['end_time']} ns")
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH}")
-    print(f"  digest {entry['digest'][:16]}  "
-          f"{entry['completed']}/{entry['arrivals']} flows, "
-          f"end {entry['end_time']} ns")
 
 
 if __name__ == "__main__":

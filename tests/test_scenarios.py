@@ -255,6 +255,88 @@ class TestYamlLoader:
         assert scenario.point_count() == 2
 
 
+class TestMultipodScenarios:
+    """Multipod topology keys and fault-target validation in YAML."""
+
+    def test_multipod_key_selects_three_tier_config(self, tmp_path):
+        scenario = load_text(
+            tmp_path,
+            """
+            name: threetier
+            template:
+              scheme: ecmp
+              workload: enterprise
+              load: 0.5
+              topology: {num_pods: 2, hosts_per_leaf: 8}
+            """,
+        )
+        from repro.topology.multipod import MultiPodConfig
+
+        assert scenario.template.config == MultiPodConfig(
+            num_pods=2, hosts_per_leaf=8
+        )
+
+    def test_core_fault_on_two_tier_template_rejected(self, tmp_path):
+        with pytest.raises(ScenarioError) as info:
+            load_text(
+                tmp_path,
+                "name: badcore\n"
+                "template:\n"
+                "  scheme: ecmp\n"
+                "  workload: enterprise\n"
+                "  load: 0.5\n"
+                "  faults: [\"link_down@1ms:s1-c0\"]\n",
+            )
+        assert "need a multipod topology" in str(info.value)
+        assert info.value.line == 6
+
+    def test_core_index_out_of_range_names_fault(self, tmp_path):
+        with pytest.raises(ScenarioError) as info:
+            load_text(
+                tmp_path,
+                "name: badidx\n"
+                "template:\n"
+                "  scheme: ecmp\n"
+                "  workload: enterprise\n"
+                "  load: 0.5\n"
+                "  topology: {num_pods: 2}\n"
+                "  faults: [\"link_down@1ms:s1-c5\"]\n",
+            )
+        assert "core 5 out of range" in str(info.value)
+        assert "LinkDown" in str(info.value)
+
+    def test_leaf_index_checked_against_default_testbed(self, tmp_path):
+        with pytest.raises(ScenarioError) as info:
+            load_text(
+                tmp_path,
+                "name: badleaf\n"
+                "template:\n"
+                "  scheme: ecmp\n"
+                "  workload: enterprise\n"
+                "  load: 0.5\n"
+                "  faults: [\"link_down@1ms:l7-s1\"]\n",
+            )
+        assert "leaf 7 out of range" in str(info.value)
+
+    def test_valid_core_fault_compiles(self, tmp_path):
+        scenario = load_text(
+            tmp_path,
+            """
+            name: okcore
+            template:
+              scheme: caft
+              workload: enterprise
+              load: 0.5
+              topology: {num_pods: 2}
+              faults: ["link_down@1ms:s1-c0", "blackout@2ms:core1+1ms"]
+            grid:
+              seeds: [1, 2]
+            """,
+        )
+        scenario.validate()
+        assert scenario.point_count() == 2
+
+
 @pytest.mark.scenario_smoke
 class TestCommittedScenarios:
     """CI gate: every committed scenarios/*.yaml compiles and stays stable."""
