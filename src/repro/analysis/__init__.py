@@ -7,6 +7,14 @@ from repro.analysis.fct import (
     SMALL_FLOW_BYTES,
     relative_to,
 )
+from repro.analysis.htmlreport import (
+    html_document,
+    recovery_report,
+    svg_heatmap,
+    svg_line_chart,
+    sweep_report,
+    timeline_sections,
+)
 from repro.analysis.monitors import (
     EmptySeriesError,
     ImbalanceSeries,
@@ -32,9 +40,15 @@ __all__ = [
     "SMALL_FLOW_BYTES",
     "ThroughputImbalanceMonitor",
     "cdf_points",
+    "html_document",
     "print_table",
+    "recovery_report",
     "relative_to",
     "render_table",
     "summarize_series",
+    "svg_heatmap",
+    "svg_line_chart",
+    "sweep_report",
+    "timeline_sections",
     "window_goodput",
 ]

@@ -48,6 +48,7 @@ from repro.faults.events import FaultEvent
 from repro.faults.injector import FaultInjector
 from repro.lb.base import SelectorFactory
 from repro.obs.config import ObsSpec
+from repro.obs.timeline import Timeline, TimelineCollector
 from repro.sim import Simulator
 from repro.switch.fabric import Fabric
 from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine, scaled_testbed
@@ -164,6 +165,9 @@ class ExperimentResult:
     #: degradation counters the fault-plane analysis reports.
     retransmissions: int = 0
     timeouts: int = 0
+    #: Frozen sim-time telemetry snapshot when the run's ``ObsSpec``
+    #: carried a :class:`~repro.obs.timeline.TimelineSpec`; None otherwise.
+    timeline: Timeline | None = None
     _summary: FctSummary | None = field(default=None, repr=False)
 
     @property
@@ -276,12 +280,27 @@ def execute_experiment(
         on_all_done=sim.stop,
     )
     traffic.start()
+    timeline = None
+    if obs is not None and obs.timeline is not None:
+        # Constructed after traffic so goodput/RTO series can read its
+        # stats; sampling is strictly read-only (see repro.obs.timeline),
+        # so flow records stay bit-identical with the collector on or off.
+        timeline = TimelineCollector(
+            sim, fabric, obs.timeline, traffic=traffic, injector=injector
+        )
+        timeline.start()
     sim.run(until=deadline)
 
     if imbalance is not None:
         imbalance.stop()
     if queues is not None:
         queues.stop()
+    if timeline is not None:
+        timeline.stop()
+    if sim.tracer is not None:
+        # Flush/close the optional NDJSON stream sink; the in-memory ring
+        # stays readable for snapshotting.
+        sim.tracer.close()
     return ExperimentResult(
         scheme=spec.name,
         workload=workload.name,
@@ -296,6 +315,7 @@ def execute_experiment(
         injector=injector,
         retransmissions=traffic.stats.retransmissions,
         timeouts=traffic.stats.timeouts,
+        timeline=timeline.snapshot() if timeline is not None else None,
     )
 
 

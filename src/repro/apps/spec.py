@@ -38,6 +38,7 @@ from repro.apps.experiment import ExperimentResult, execute_experiment, get_sche
 from repro.faults.events import FaultEvent, fault_window
 from repro.obs.config import ObsSpec
 from repro.obs.metrics import MetricsReport, collect_run_metrics
+from repro.obs.timeline import Timeline
 from repro.obs.trace import TraceLog
 from repro.topology.leafspine import LeafSpineConfig
 from repro.topology.multipod import MultiPodConfig
@@ -250,6 +251,13 @@ class ExperimentSpec:
             # Hash-neutrality: tracing off must hash like the field never
             # existed, so pre-obs cache keys stay reachable.
             payload.pop("obs")
+        else:
+            # Same convention one level down: an unset timeline hashes like
+            # the field never existed, and trace_path never participates —
+            # it is an output sink, not an input (see ObsSpec docstring).
+            payload["obs"].pop("trace_path")
+            if self.obs.timeline is None:
+                payload["obs"].pop("timeline")
         payload["__repro_version__"] = __version__
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -346,6 +354,9 @@ class PointResult:
     #: Trace snapshot when the spec carried an :class:`ObsSpec`; None for
     #: untraced runs.
     trace: TraceLog | None = None
+    #: Sim-time telemetry snapshot when the spec's ``ObsSpec`` carried a
+    #: :class:`~repro.obs.timeline.TimelineSpec`; None otherwise.
+    timeline: Timeline | None = None
 
     @staticmethod
     def from_live(
@@ -383,6 +394,7 @@ class PointResult:
             trace=(
                 live.sim.tracer.snapshot() if live.sim.tracer is not None else None
             ),
+            timeline=live.timeline,
         )
 
     @property

@@ -8,6 +8,8 @@ Examples::
         --fault link_up@1.5s:l1-s1
     conga-repro sweep --schemes ecmp,conga --loads 0.3,0.5,0.7 --seeds 1,2
     conga-repro sweep --scenario scenarios/fig9_enterprise.yaml
+    conga-repro sweep --scenario scenarios/tiny_smoke.yaml --telemetry sweep.ndjson
+    conga-repro report --scenario scenarios/caft_recovery.yaml --timeline
     conga-repro scenario validate scenarios/*.yaml
     conga-repro scenario run scenarios/tiny_smoke.yaml --backend subprocess
     conga-repro incast --transport mptcp --fan-in 31 --mtu 9000
@@ -219,10 +221,11 @@ def _print_sweep_table(title: str, sweep) -> None:
         )
 
 
-def _run_and_report(title: str, specs, args: argparse.Namespace) -> int:
+def _run_sweep_from_args(specs, args: argparse.Namespace, telemetry=None):
+    """One ``run_sweep`` call wired to the shared execution flags."""
     from repro.runner import run_sweep
 
-    sweep = run_sweep(
+    return run_sweep(
         specs,
         workers=args.workers,
         cache=None if args.no_cache else args.cache_dir,
@@ -230,7 +233,12 @@ def _run_and_report(title: str, specs, args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         backend=_make_backend(args),
+        telemetry=telemetry,
     )
+
+
+def _run_and_report(title: str, specs, args: argparse.Namespace) -> int:
+    sweep = _run_sweep_from_args(specs, args, telemetry=args.telemetry)
     _print_sweep_table(title, sweep)
     return 1 if sweep.failures else 0
 
@@ -289,9 +297,141 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     report = result.metrics
     assert report is not None  # fresh runs always carry a report
     print(f"metrics: {spec.label()}")
-    for line in report.lines(args.select):
+    try:
+        lines = report.lines(args.select)
+    except KeyError as exc:
+        raise _CliError(str(exc.args[0])) from exc
+    for line in lines:
         print(f"  {line}")
     return 0
+
+
+def _with_timeline(spec):
+    """Attach a default-cadence timeline collector to one spec."""
+    import dataclasses
+
+    from repro.apps import ObsSpec
+    from repro.obs import TimelineSpec
+
+    if spec.obs is not None and spec.obs.timeline is not None:
+        return spec
+    if spec.obs is None:
+        # categories=() keeps the ring buffer silent: the point pays for
+        # the timeline samples it asked for, not for full tracing too.
+        obs = ObsSpec(categories=(), timeline=TimelineSpec())
+    else:
+        obs = dataclasses.replace(spec.obs, timeline=TimelineSpec())
+    return spec.with_(obs=obs)
+
+
+def _report_points(sweep):
+    """Split one sweep into (successful points, failures)."""
+    from repro.runner import PointFailure
+
+    return [p for p in sweep if not isinstance(p, PointFailure)], list(
+        sweep.failures
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import recovery_report, sweep_report
+    from repro.runner import TelemetrySink
+
+    recovery_cells = None
+    scenario = None
+    if getattr(args, "scenario", None):
+        scenario = _load_scenario(args.scenario)
+        recovery_cells = scenario.params.get("cells")
+
+    # One sink across every sweep this report runs (a recovery matrix is
+    # baseline + one sweep per cell; a fresh path per call would truncate).
+    sink = TelemetrySink(args.telemetry) if args.telemetry else None
+    try:
+        return _render_report(args, scenario, recovery_cells, sink)
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _render_report(args, scenario, recovery_cells, sink) -> int:
+    from pathlib import Path
+
+    from repro.analysis import recovery_report, sweep_report
+
+    failures = []
+    if recovery_cells:
+        # Recovery-matrix page: the scenario's own grid is the healthy
+        # baseline; each params.cells entry reruns it under that fault
+        # set (the same protocol as the caft recovery benchmark).
+        from repro.faults import parse_fault
+        from repro.runner import sweep_grid
+
+        assert scenario is not None
+        title = args.title or f"{scenario.name} — recovery matrix"
+        specs = scenario.compile()
+        if args.timeline:
+            specs = [_with_timeline(s) for s in specs]
+        baseline, failed = _report_points(_run_sweep_from_args(
+            specs, args, telemetry=sink
+        ))
+        failures += failed
+        cells = []
+        for cell in recovery_cells:
+            try:
+                faults = tuple(parse_fault(text) for text in cell["faults"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise _CliError(
+                    f"bad recovery cell {cell!r} in scenario params: {exc}"
+                ) from exc
+            cell_specs = sweep_grid(
+                scenario.template.with_(faults=faults),
+                schemes=scenario.schemes,
+                seeds=scenario.seed_list(),
+            )
+            if args.timeline:
+                cell_specs = [_with_timeline(s) for s in cell_specs]
+            points, failed = _report_points(_run_sweep_from_args(
+                cell_specs, args, telemetry=sink
+            ))
+            failures += failed
+            cells.append((cell, points))
+        html = recovery_report(
+            title=title,
+            baseline=baseline,
+            cells=cells,
+            subtitle=f"scenario {scenario.name}; "
+                     f"{len(cells)} fault cells × "
+                     f"{len(scenario.schemes or (scenario.template.scheme,))} "
+                     f"schemes",
+            timelines=args.timeline,
+        )
+    else:
+        title, specs = _resolve_sweep_specs(args)
+        if args.timeline:
+            specs = [_with_timeline(s) for s in specs]
+        sweep = _run_sweep_from_args(specs, args, telemetry=sink)
+        points, failures = _report_points(sweep)
+        if not points:
+            raise _CliError("every point failed; nothing to report", code=1)
+        html = sweep_report(
+            points,
+            title=args.title or f"sweep: {title}",
+            subtitle=f"{len(points)} points "
+                     f"({sweep.executed} executed, {sweep.cached} cached)",
+            failures=failures,
+            timelines=args.timeline,
+        )
+    out = Path(args.output)
+    out.write_text(html)
+    print(f"wrote {out} ({len(html) / 1024:.0f} KiB)")
+    for failure in failures:
+        print(
+            f"FAILED {failure.spec.label()}: {failure.kind}: {failure.error}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 def _cmd_scenario_validate(args: argparse.Namespace) -> int:
@@ -367,6 +507,26 @@ def _add_point_arguments(
                           "flags (must compile to exactly one point)")
 
 
+def _add_sweep_grid_arguments(cmd: argparse.ArgumentParser) -> None:
+    """The shared grid definition flags (``sweep`` and ``report``)."""
+    cmd.add_argument("--schemes", default="ecmp,conga",
+                     help="comma-separated scheme names")
+    cmd.add_argument("--workload", default="enterprise",
+                     choices=sorted(WORKLOADS))
+    cmd.add_argument("--loads", default="0.3,0.5,0.7",
+                     help="comma-separated offered loads")
+    cmd.add_argument("--seeds", default="1",
+                     help="comma-separated seeds (one point per seed)")
+    cmd.add_argument("--flows", type=int, default=200)
+    cmd.add_argument("--size-scale", type=float, default=0.05)
+    cmd.add_argument("--fault", action="append", metavar="FAULT",
+                     help="schedule a fault event on every point "
+                          "(repeatable; same grammar as fct --fault)")
+    cmd.add_argument("--scenario", default=None, metavar="FILE",
+                     help="compile the grid from a scenario YAML "
+                          "(overrides the template/grid flags above)")
+
+
 def _add_sweep_run_arguments(cmd: argparse.ArgumentParser) -> None:
     """Execution knobs shared by ``sweep`` and ``scenario run``."""
     from repro.runner import BACKENDS, DEFAULT_CACHE_DIR
@@ -389,6 +549,11 @@ def _add_sweep_run_arguments(cmd: argparse.ArgumentParser) -> None:
                      help="re-executions granted to a failing point "
                           "(default 1); failures become table rows, "
                           "not crashes")
+    cmd.add_argument("--telemetry", default=None, metavar="PATH",
+                     help="stream structured sweep health events "
+                          "(cache hits, completions, failures, worker "
+                          "restarts) to this NDJSON file, tailable while "
+                          "the sweep runs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,24 +571,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a cached, parallel scheme x load x seed sweep"
     )
-    sweep.add_argument("--schemes", default="ecmp,conga",
-                       help="comma-separated scheme names")
-    sweep.add_argument("--workload", default="enterprise",
-                       choices=sorted(WORKLOADS))
-    sweep.add_argument("--loads", default="0.3,0.5,0.7",
-                       help="comma-separated offered loads")
-    sweep.add_argument("--seeds", default="1",
-                       help="comma-separated seeds (one point per seed)")
-    sweep.add_argument("--flows", type=int, default=200)
-    sweep.add_argument("--size-scale", type=float, default=0.05)
-    sweep.add_argument("--fault", action="append", metavar="FAULT",
-                       help="schedule a fault event on every point "
-                            "(repeatable; same grammar as fct --fault)")
-    sweep.add_argument("--scenario", default=None, metavar="FILE",
-                       help="compile the grid from a scenario YAML "
-                            "(overrides the template/grid flags above)")
+    _add_sweep_grid_arguments(sweep)
     _add_sweep_run_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="run a sweep (or recovery scenario) and render a "
+             "self-contained HTML report",
+    )
+    _add_sweep_grid_arguments(report)
+    report.add_argument("--output", default="report.html", metavar="PATH",
+                        help="where to write the HTML document "
+                             "(default report.html; no external assets)")
+    report.add_argument("--title", default=None,
+                        help="report page title (default: derived from "
+                             "the grid or scenario name)")
+    report.add_argument("--timeline", action="store_true",
+                        help="collect sim-time timelines (port "
+                             "utilization heatmaps, reroute/loss rates, "
+                             "per-interval goodput) and render them; "
+                             "changes spec hashes, so timeline points "
+                             "cache separately")
+    _add_sweep_run_arguments(report)
+    report.set_defaults(func=_cmd_report)
 
     scenario = sub.add_parser(
         "scenario", help="validate, compile, and run scenario YAML files"
@@ -505,9 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="LEAF",
                          help="attach a throughput-imbalance monitor to this "
                               "leaf (adds monitor.imbalance.* metrics)")
-    metrics.add_argument("--select", default="", metavar="PREFIX",
-                         help="only print metrics whose dotted name starts "
-                              "with PREFIX (e.g. kernel., flowlet.)")
+    metrics.add_argument("--select", default="", metavar="FAMILIES",
+                         help="comma-separated dotted-name families to "
+                              "print, exact names or prefixes (e.g. "
+                              "'kernel.,lb.caft.' or 'tcp.rto_timeouts'); "
+                              "unknown selections are an error")
     metrics.set_defaults(func=_cmd_metrics)
 
     poa = sub.add_parser("poa", help="evaluate the Theorem 1 PoA gadget")

@@ -197,6 +197,30 @@ class DRE:
             )
         return metric
 
+    def peek(self) -> float:
+        """Side-effect-free register read for telemetry sampling.
+
+        Applies pending decay *arithmetically* without writing back and
+        without emitting a trace event.  The timeline collector must use
+        this instead of :attr:`register`: committing the decay here would
+        split one future decay multiply into two (``(X·b^e1)·b^e2`` is not
+        bitwise ``X·b^(e1+e2)``), changing low-order register bits and
+        breaking the "bit-identical with the collector on or off" contract.
+        """
+        tick = self.sim.now // self._period
+        elapsed = tick - self._last_decay_tick
+        register = self._register
+        if elapsed > 0:
+            if elapsed < _DECAY_TABLE_SIZE:
+                register *= self._decay_table[elapsed]
+            else:
+                register *= self._decay_base ** elapsed
+        return register
+
+    def peek_utilization(self) -> float:
+        """Side-effect-free ``X / (C · τ)`` (see :meth:`peek`)."""
+        return self.peek() / self._full_register
+
     def set_link_rate(self, link_rate_bps: int) -> None:
         """Retarget the estimator to a new line rate ``C`` (link degradation).
 

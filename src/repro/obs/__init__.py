@@ -56,10 +56,19 @@ from repro.obs.metrics import (
     MetricsReport,
     collect_run_metrics,
 )
+from repro.obs.timeline import (
+    DEFAULT_TIMELINE_INTERVAL,
+    DEFAULT_TIMELINE_LIMIT,
+    Timeline,
+    TimelineCollector,
+    TimelineSpec,
+)
 from repro.obs.trace import CATEGORIES, DEFAULT_TRACE_LIMIT, TraceLog, Tracer
 
 __all__ = [
     "CATEGORIES",
+    "DEFAULT_TIMELINE_INTERVAL",
+    "DEFAULT_TIMELINE_LIMIT",
     "DEFAULT_TRACE_LIMIT",
     "CongaTableAged",
     "CongaTableUpdated",
@@ -78,6 +87,9 @@ __all__ = [
     "PacketDropped",
     "RtoFired",
     "TcpStateChanged",
+    "Timeline",
+    "TimelineCollector",
+    "TimelineSpec",
     "TraceEvent",
     "TraceLog",
     "Tracer",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.timeline import TimelineSpec
 from repro.obs.trace import (
     CATEGORIES,
     DEFAULT_TRACE_LIMIT,
@@ -27,13 +28,28 @@ class ObsSpec:
 
     ``categories`` selects which event families to record (canonicalized
     to sorted order so equivalent selections hash identically);
-    ``buffer_limit`` bounds the ring buffer.  Tracing never changes what a
-    run computes — only what it records — so two specs differing only in
+    ``buffer_limit`` bounds the ring buffer.  ``timeline`` (optional)
+    attaches the sim-time telemetry collector of
+    :mod:`repro.obs.timeline`; ``trace_path`` (optional) streams every
+    emitted event to an NDJSON file so long runs aren't silently
+    truncated by the ring.  Observability never changes what a run
+    computes — only what it records — so two specs differing only in
     ``obs`` produce identical flow records.
+
+    Hash semantics: ``timeline`` participates in the experiment content
+    hash when set (a cached point without timeline data must not satisfy
+    a spec that asks for it) and is stripped when ``None``, keeping
+    pre-timeline hashes intact.  ``trace_path`` is *always* stripped —
+    it is a side-channel output sink that affects neither the simulation
+    nor the :class:`~repro.apps.spec.PointResult` payload, so pointing
+    the stream elsewhere must not invalidate the cache (a cache hit
+    skips the run and therefore writes no stream).
     """
 
     categories: tuple[str, ...] = field(default=CATEGORIES)
     buffer_limit: int = DEFAULT_TRACE_LIMIT
+    timeline: TimelineSpec | None = None
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -46,7 +62,11 @@ class ObsSpec:
 
     def make_tracer(self) -> Tracer:
         """Build the tracer this spec describes (one per simulator)."""
-        return Tracer(categories=self.categories, limit=self.buffer_limit)
+        return Tracer(
+            categories=self.categories,
+            limit=self.buffer_limit,
+            stream_path=self.trace_path,
+        )
 
 
 __all__ = ["ObsSpec"]

@@ -97,6 +97,19 @@ def build_manifest(result: "PointResult", *, key: str | None = None) -> dict[str
             "dropped": result.trace.dropped,
             "digest": result.trace.digest(),
         }
+        if spec.obs is not None and spec.obs.trace_path is not None:
+            # Where the incremental NDJSON stream went: with it, "dropped"
+            # above counts ring evictions, not lost data.
+            manifest["trace"]["stream_path"] = spec.obs.trace_path
+    if result.timeline is not None:
+        manifest["timeline"] = {
+            "interval_ns": result.timeline.interval,
+            "samples": result.timeline.samples,
+            "retained": len(result.timeline),
+            "ports": len(result.timeline.port_names),
+            "fault_events": len(result.timeline.fault_events),
+            "digest": result.timeline.digest(),
+        }
     return manifest
 
 

@@ -154,18 +154,66 @@ class MetricsReport:
             merged[name] = self.counters.get(name, self.gauges.get(name, 0))
         return merged
 
-    def lines(self, prefix: str = "") -> list[str]:
-        """Human-readable aligned report lines, optionally name-filtered."""
+    def resolve_select(self, select: str | Iterable[str]) -> list[str]:
+        """Resolve a selection of names and dotted prefixes to metric names.
+
+        ``select`` is a comma-separated string (or iterable) of tokens;
+        each token matches exactly or as a name prefix, so whole families
+        select naturally (``lb.caft.``, ``kernel.``) — the same semantics
+        as the lint CLI's ``resolve_select``.  Matches are deduplicated
+        preserving selection order; tokens matching nothing raise with the
+        known names listed, so a typo never silently selects nothing.
+        """
+        if isinstance(select, str):
+            tokens = select.split(",")
+        else:
+            tokens = list(select)
+        tokens = [token.strip() for token in tokens]
+        tokens = [token for token in tokens if token]
+        names = self.names()
+        resolved: list[str] = []
+        seen: set[str] = set()
+        unknown: list[str] = []
+        for token in tokens:
+            matched = [
+                name
+                for name in names
+                if name == token or name.startswith(token)
+            ]
+            if not matched:
+                unknown.append(token)
+                continue
+            for name in matched:
+                if name not in seen:
+                    seen.add(name)
+                    resolved.append(name)
+        if unknown:
+            raise KeyError(
+                f"unknown metric selection {', '.join(sorted(unknown))!s}; "
+                f"known names: {', '.join(names)}"
+            )
+        return resolved
+
+    def lines(self, select: str = "") -> list[str]:
+        """Human-readable aligned report lines, optionally name-filtered.
+
+        ``select`` accepts comma-separated exact names or dotted-prefix
+        families (see :meth:`resolve_select`); empty selects everything.
+        """
+        if select:
+            wanted = set(self.resolve_select(select))
+        else:
+            wanted = set(self.names())
         rows: list[tuple[str, str]] = []
         for name in sorted(self.counters):
-            if name.startswith(prefix):
+            if name in wanted:
                 value = self.counters[name]
                 rows.append((name, f"{value:g}" if isinstance(value, float) else str(value)))
         for name in sorted(self.gauges):
-            if name.startswith(prefix):
+            if name in wanted:
                 rows.append((name, f"{self.gauges[name]:g}"))
         for name in sorted(self.histograms):
-            if name.startswith(prefix):
+            if name in wanted:
                 h = self.histograms[name]
                 rows.append(
                     (
@@ -343,6 +391,11 @@ def collect_run_metrics(live: "ExperimentResult") -> MetricsReport:
         registry.counter("trace.emitted").value = tracer.emitted
         registry.counter("trace.retained").value = len(tracer)
         registry.counter("trace.dropped").value = tracer.dropped
+
+    if live.timeline is not None:
+        registry.counter("timeline.samples").value = live.timeline.samples
+        registry.counter("timeline.retained").value = len(live.timeline)
+        registry.counter("timeline.ports").value = len(live.timeline.port_names)
 
     return registry.snapshot()
 

@@ -168,21 +168,42 @@ class Tracer:
     limit:
         Ring-buffer bound; when full, the oldest events are evicted
         (``dropped`` counts them) so the newest window is always kept.
+    stream_path:
+        Optional NDJSON sink: every emitted event is *also* appended to
+        this file as it happens, so long runs keep a complete record even
+        after the ring buffer starts evicting.  Line-buffered, so a
+        crashed run still leaves whole lines behind.
     """
 
-    __slots__ = ("categories", "limit", "emitted", "_buffer") + CATEGORIES
+    __slots__ = (
+        "categories",
+        "limit",
+        "emitted",
+        "stream_path",
+        "_buffer",
+        "_stream",
+    ) + CATEGORIES
 
     def __init__(
         self,
         categories: object = None,
         limit: int = DEFAULT_TRACE_LIMIT,
+        stream_path: str | Path | None = None,
     ) -> None:
         if limit < 1:
             raise ValueError(f"trace buffer limit must be positive, got {limit}")
         self.categories = _normalize_categories(categories)
         self.limit = limit
         self.emitted = 0
+        self.stream_path = Path(stream_path) if stream_path is not None else None
         self._buffer: deque[TraceEvent] = deque(maxlen=limit)
+        self._stream = (
+            # Opt-in observability sink, opened once per run, never on a
+            # hot path without an explicit trace_path knob.
+            self.stream_path.open("w", buffering=1)
+            if self.stream_path is not None
+            else None
+        )
         # Precomputed per-category booleans: the enabled-path gate is a
         # plain attribute read, not a set membership test.
         enabled = set(self.categories)
@@ -197,6 +218,14 @@ class Tracer:
         """Record one event (callers gate on the category flag first)."""
         self.emitted += 1
         self._buffer.append(event)
+        if self._stream is not None:
+            self._stream.write(_ndjson_line(event) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the streaming sink, if one is open.  Idempotent."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
 
     @property
     def dropped(self) -> int:

@@ -521,6 +521,60 @@ def run_trace_overhead(*, quick: bool = False, repeats: int = 3) -> TraceOverhea
     )
 
 
+def run_timeline_overhead(
+    *, quick: bool = False, repeats: int = 3
+) -> TraceOverheadResult:
+    """Measure the timeline collector's cost on the same canonical spec.
+
+    The shape mirrors :func:`run_trace_overhead` — and reuses its result
+    type — with the *timeline* knob as the toggled arm: the "untraced"
+    fields measure a spec with no ``obs`` at all (the timeline-disabled
+    hot path the ≤3% gate protects), the "traced" fields a spec carrying
+    ``ObsSpec(categories=(), timeline=TimelineSpec())`` (sampling on, ring
+    tracing silent), and ``trace_events_emitted`` reports timeline samples
+    taken.  Both arms must produce identical flow records — the collector
+    is strictly read-only — so ``result.identical`` is the determinism
+    check and :func:`assert_disabled_overhead` is the perf gate, exactly
+    as for tracing.
+    """
+    from repro.analysis.fct import records_digest
+    from repro.apps import ExperimentSpec, ObsSpec
+    from repro.obs import TimelineSpec
+
+    base = ExperimentSpec(
+        scheme="conga",
+        workload="enterprise",
+        load=0.7,
+        seed=42,
+        num_flows=60 if quick else 400,
+        size_scale=0.05,
+    )
+    sampled_spec = base.with_(
+        obs=ObsSpec(categories=(), timeline=TimelineSpec())
+    )
+    best: dict[bool, float] = {False: 0.0, True: 0.0}
+    digests: dict[bool, str] = {}
+    events = 0
+    samples = 0
+    for _ in range(max(1, repeats)):
+        for sampled in (False, True):
+            point = (sampled_spec if sampled else base).run()
+            best[sampled] = max(best[sampled], point.events_per_sec)
+            digests[sampled] = records_digest(list(point.records))
+            events = point.events_executed
+            if sampled and point.timeline is not None:
+                samples = point.timeline.samples
+    return TraceOverheadResult(
+        events_executed=events,
+        repeats=max(1, repeats),
+        untraced_events_per_sec=best[False],
+        traced_events_per_sec=best[True],
+        untraced_digest=digests[False],
+        traced_digest=digests[True],
+        trace_events_emitted=samples,
+    )
+
+
 def assert_disabled_overhead(
     result: TraceOverheadResult,
     *,
@@ -572,6 +626,7 @@ __all__ = [
     "load_bench_file",
     "profile_bench",
     "run_bench",
+    "run_timeline_overhead",
     "run_trace_overhead",
     "write_bench_file",
 ]

@@ -28,6 +28,7 @@ from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.dispatch import Dispatcher, run_sweep
 from repro.runner.failures import FAILURE_KINDS, PointFailure
 from repro.runner.sweep import SweepResult, derive_seeds, sweep_grid
+from repro.runner.telemetry import TelemetrySink
 
 __all__ = [
     "BACKENDS",
@@ -40,6 +41,7 @@ __all__ = [
     "ResultCache",
     "SubprocessBackend",
     "SweepResult",
+    "TelemetrySink",
     "derive_seeds",
     "get_backend",
     "run_sweep",

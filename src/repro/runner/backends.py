@@ -45,6 +45,7 @@ from repro.runner.sweep import (
     _PoolDispatcher,
     _run_inline,
 )
+from repro.runner.telemetry import TelemetrySink
 from repro.workloads import BUILTIN_WORKLOAD_NAMES, WORKLOADS
 
 FinishFn = Callable[[int, PointResult], None]
@@ -57,7 +58,9 @@ class Backend(abc.ABC):
     ``execute`` must call ``finish(index, result)`` or
     ``fail(index, failure)`` exactly once for every index in ``misses``
     before returning.  Callbacks are thread-safe on the dispatcher side;
-    backends may invoke them from worker threads.
+    backends may invoke them from worker threads.  ``telemetry``, when
+    given, is the sweep's health-event sink: backends with their own
+    worker lifecycle report it there (``worker_restart`` events).
     """
 
     #: Registry name (``--backend`` value on the CLI).
@@ -72,6 +75,7 @@ class Backend(abc.ABC):
         finish: FinishFn,
         fail: FailFn,
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         """Run ``specs[i]`` for every ``i`` in ``misses``."""
 
@@ -103,6 +107,7 @@ class LocalBackend(Backend):
         finish: FinishFn,
         fail: FailFn,
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         if not misses:
             return
@@ -269,6 +274,7 @@ class SubprocessBackend(Backend):
         finish: FinishFn,
         fail: FailFn,
         metrics: MetricsRegistry | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         if not misses:
             return
@@ -323,6 +329,20 @@ class SubprocessBackend(Backend):
                 )
             return "ok", result
 
+        def note_restart(restarts: int, index: int, reason: str) -> None:
+            """Health accounting for one lost child (under no lock)."""
+            if metrics is not None:
+                with lock:
+                    metrics.counter("sweep.worker_restarts").value += 1
+            if telemetry is not None:
+                telemetry.emit(
+                    "worker_restart",
+                    worker=threading.current_thread().name,
+                    restarts=restarts,
+                    index=index,
+                    reason=reason,
+                )
+
         def loop() -> None:
             child: subprocess.Popen | None = None
             restarts = 0
@@ -343,6 +363,7 @@ class SubprocessBackend(Backend):
                                 child = self._spawn()
                             except Exception:
                                 restarts += 1
+                                note_restart(restarts, index, "spawn failed")
                                 with lock:
                                     pending.appendleft(index)
                                 return
@@ -356,6 +377,7 @@ class SubprocessBackend(Backend):
                             self._kill(child)
                             child = None
                             restarts += 1
+                            note_restart(restarts, index, "child died mid-point")
                             if metrics is not None:
                                 with lock:
                                     metrics.counter(

@@ -35,8 +35,11 @@ from repro.runner.sweep import (
     _failure_line,
     _point_line,
 )
+from repro.runner.telemetry import TelemetrySink, as_sink
 
 Outcome = PointResult | PointFailure
+
+TelemetryArg = TelemetrySink | str | os.PathLike | None
 
 
 class _Run:
@@ -48,12 +51,14 @@ class _Run:
         cache: ResultCache | None,
         progress: ProgressFn | None,
         summary_every: int,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.specs = specs
         self.total = len(specs)
         self.cache = cache
         self.progress = progress
         self.summary_every = summary_every
+        self.telemetry = telemetry
         self.registry = MetricsRegistry()
         self.results: list[Outcome | None] = [None] * self.total
         self.misses: list[int] = []
@@ -68,6 +73,8 @@ class _Run:
 
     def scan(self) -> None:
         """Serve cache hits and split the rest into misses + duplicates."""
+        if self.telemetry is not None:
+            self.telemetry.emit("sweep_started", total=self.total)
         seen: dict[str, int] = {}
         for index, spec in enumerate(self.specs):
             cached = self.cache.get(spec) if self.cache is not None else None
@@ -75,6 +82,13 @@ class _Run:
                 with self.lock:
                     self.results[index] = cached
                     self.registry.counter("sweep.cache_hits").value += 1
+                    if self.telemetry is not None:
+                        self.telemetry.emit(
+                            "cache_hit",
+                            index=index,
+                            label=spec.label(),
+                            spec_hash=spec.content_hash(),
+                        )
                     self._emit(index, cached, _point_line(index, self.total, cached))
                 continue
             first = seen.setdefault(spec.content_hash(), index)
@@ -90,6 +104,20 @@ class _Run:
             if self.cache is not None and not result.from_cache:
                 self.cache.put(self.specs[index], result)
             self.registry.counter("sweep.executed").value += 1
+            self.registry.histogram("sweep.point_wall_seconds").observe(
+                result.wall_seconds
+            )
+            if self.telemetry is not None:
+                spec = self.specs[index]
+                self.telemetry.emit(
+                    "point_completed",
+                    index=index,
+                    label=spec.label(),
+                    spec_hash=spec.content_hash(),
+                    wall_seconds=result.wall_seconds,
+                    events_executed=result.events_executed,
+                    completed=result.completed,
+                )
             self._emit(index, result, _point_line(index, self.total, result))
 
     def fail(self, index: int, failure: PointFailure) -> None:
@@ -98,6 +126,18 @@ class _Run:
             self.results[index] = failure
             self.registry.counter("sweep.executed").value += 1
             self.registry.counter("sweep.failures").value += 1
+            if self.telemetry is not None:
+                spec = self.specs[index]
+                self.telemetry.emit(
+                    "point_failed",
+                    index=index,
+                    label=spec.label(),
+                    spec_hash=spec.content_hash(),
+                    kind=failure.kind,
+                    error=failure.error,
+                    attempts=failure.attempts,
+                    wall_seconds=failure.wall_seconds,
+                )
             self._emit(index, failure, _failure_line(index, self.total, failure))
 
     def finalize(self) -> SweepResult:
@@ -118,6 +158,19 @@ class _Run:
                 1 for point in self.results if isinstance(point, PointFailure)
             )
             registry.gauge("sweep.wall_seconds").set(wall)
+            # Stable health names even on clean runs: restarts default to 0.
+            restarts = registry.counter("sweep.worker_restarts").value
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "sweep_finished",
+                    total=self.total,
+                    executed=executed,
+                    cached=self.total - executed - len(self.duplicates),
+                    duplicates=len(self.duplicates),
+                    failures=registry.counter("sweep.failures").value,
+                    worker_restarts=restarts,
+                    wall_seconds=wall,
+                )
             return SweepResult(
                 points=tuple(self.results),  # type: ignore[arg-type]
                 executed=executed,
@@ -168,6 +221,14 @@ class Dispatcher:
     ``progress`` receives one line per resolved point; with
     ``summary_every=k`` every k-th resolution also emits a live
     ``[sweep i/n] ...`` summary line rendered from the run's metrics.
+    ``telemetry`` is an NDJSON health-event sink — a
+    :class:`~repro.runner.telemetry.TelemetrySink`, a file path for one,
+    or a callable receiving each event dict; the dispatcher emits
+    lifecycle events (``sweep_started``, ``cache_hit``,
+    ``point_completed``, ``point_failed``, ``sweep_finished``) and the
+    backend adds its own (``worker_restart``).  The caller owns closing a
+    sink it constructed; path-created sinks are line-buffered, so the
+    stream is tailable while the sweep runs.
     """
 
     def __init__(
@@ -177,6 +238,7 @@ class Dispatcher:
         cache: ResultCache | str | os.PathLike | None = DEFAULT_CACHE_DIR,
         progress: ProgressFn | None = None,
         summary_every: int = 0,
+        telemetry: TelemetryArg = None,
     ) -> None:
         if isinstance(backend, str):
             backend = get_backend(backend)()
@@ -186,11 +248,18 @@ class Dispatcher:
         self.cache = cache
         self.progress = progress
         self.summary_every = summary_every
+        self.telemetry = as_sink(telemetry)
         #: The :class:`SweepResult` of the most recent run()/stream().
         self.last_result: SweepResult | None = None
 
     def _new_run(self, specs: Iterable[ExperimentSpec]) -> _Run:
-        return _Run(list(specs), self.cache, self.progress, self.summary_every)
+        return _Run(
+            list(specs),
+            self.cache,
+            self.progress,
+            self.summary_every,
+            telemetry=self.telemetry,
+        )
 
     def run(self, specs: Iterable[ExperimentSpec]) -> SweepResult:
         """Resolve every spec (cache, dedupe, backend) into a result."""
@@ -208,6 +277,7 @@ class Dispatcher:
                 finish=run.finish,
                 fail=run.fail,
                 metrics=run.registry,
+                telemetry=self.telemetry,
             )
         self.last_result = run.finalize()
         return self.last_result
@@ -243,6 +313,7 @@ class Dispatcher:
                         finish=run.finish,
                         fail=run.fail,
                         metrics=run.registry,
+                        telemetry=self.telemetry,
                     )
                 except BaseException as exc:  # surfaced after drain
                     backend_error.append(exc)
@@ -283,6 +354,7 @@ def run_sweep(
     retry_backoff: float = 0.5,
     max_executor_rebuilds: int = 3,
     backend: Backend | None = None,
+    telemetry: TelemetryArg = None,
 ) -> SweepResult:
     """Run every spec, in parallel, through the result cache.
 
@@ -330,6 +402,12 @@ def run_sweep(
     backend:
         An explicit :class:`Backend` to dispatch over instead of the
         default local pool.
+    telemetry:
+        Structured NDJSON health stream: a
+        :class:`~repro.runner.telemetry.TelemetrySink`, a path to write
+        one event per line to, or a callable receiving each event dict.
+        A path-created sink is closed before returning; a sink instance
+        stays open (the caller owns it).
     """
     specs = list(specs)
     if not specs:
@@ -347,7 +425,14 @@ def run_sweep(
             retry_backoff=retry_backoff,
             max_executor_rebuilds=max_executor_rebuilds,
         )
-    return Dispatcher(backend, cache=cache, progress=progress).run(specs)
+    sink = as_sink(telemetry)
+    try:
+        return Dispatcher(
+            backend, cache=cache, progress=progress, telemetry=sink
+        ).run(specs)
+    finally:
+        if sink is not None and not isinstance(telemetry, TelemetrySink):
+            sink.close()
 
 
-__all__ = ["Dispatcher", "run_sweep"]
+__all__ = ["Dispatcher", "TelemetrySink", "run_sweep"]

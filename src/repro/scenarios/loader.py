@@ -337,7 +337,8 @@ _QUEUE_MONITOR_KEYS = frozenset(
     {"tier", "direction", "leaf", "spine", "interval"}
 )
 _IMBALANCE_MONITOR_KEYS = frozenset({"leaf", "interval"})
-_OBS_KEYS = frozenset({"categories", "buffer_limit"})
+_OBS_KEYS = frozenset({"categories", "buffer_limit", "timeline", "trace_path"})
+_TIMELINE_KEYS = frozenset({"interval", "limit"})
 _WORKLOAD_KEYS = frozenset({"points"})
 
 
@@ -454,6 +455,32 @@ def _build_obs(data: dict, path: _KeyPath, ctx: _Context) -> ObsSpec:
     if "buffer_limit" in data:
         kwargs["buffer_limit"] = _as_int(
             data["buffer_limit"], path + ("buffer_limit",), ctx
+        )
+    if "timeline" in data and data["timeline"] not in (None, False):
+        from repro.obs.timeline import TimelineSpec
+
+        where = path + ("timeline",)
+        timeline_kwargs: dict[str, Any] = {}
+        if data["timeline"] is True:
+            pass  # `timeline: true` = collector with default cadence/bounds
+        else:
+            mapping = _as_mapping(data["timeline"], where, ctx)
+            _check_keys(mapping, _TIMELINE_KEYS, where, ctx)
+            if "interval" in mapping:
+                timeline_kwargs["interval"] = _parse_duration(
+                    mapping["interval"], where + ("interval",), ctx
+                )
+            if "limit" in mapping:
+                timeline_kwargs["limit"] = _as_int(
+                    mapping["limit"], where + ("limit",), ctx
+                )
+        try:
+            kwargs["timeline"] = TimelineSpec(**timeline_kwargs)
+        except ValueError as exc:
+            raise ctx.error(str(exc), where) from exc
+    if "trace_path" in data and data["trace_path"] is not None:
+        kwargs["trace_path"] = _as_str(
+            data["trace_path"], path + ("trace_path",), ctx
         )
     try:
         return ObsSpec(**kwargs)

@@ -154,7 +154,8 @@ class TestDispatcher:
         class ExplodingBackend(Backend):
             name = "exploding"
 
-            def execute(self, specs, misses, *, finish, fail, metrics=None):
+            def execute(self, specs, misses, *, finish, fail,
+                        metrics=None, telemetry=None):
                 raise AssertionError("backend should not be reached")
 
         second = Dispatcher(ExplodingBackend(), cache=cache_dir).run([TINY])

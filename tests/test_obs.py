@@ -41,6 +41,7 @@ from repro.perf import (
     TRACE_OVERHEAD_SPEC,
     TraceOverheadResult,
     assert_disabled_overhead,
+    run_timeline_overhead,
     run_trace_overhead,
     write_bench_file,
 )
@@ -412,5 +413,17 @@ def test_measured_disabled_overhead_within_contract():
     committed baseline's speed, and tracing must not change behaviour."""
     result = run_trace_overhead(quick=False, repeats=2)
     assert result.identical, "traced and untraced runs must be bit-identical"
+    ratio = assert_disabled_overhead(result)
+    assert ratio > 0.97
+
+
+@pytest.mark.obs_smoke
+def test_measured_timeline_disabled_overhead_within_contract():
+    """Same gate for the timeline plane: a run without a collector must
+    keep the committed baseline's speed, and sampling must not move a bit
+    of the simulation (the arms share one records digest)."""
+    result = run_timeline_overhead(quick=False, repeats=2)
+    assert result.identical, "sampled and unsampled runs must be bit-identical"
+    assert result.trace_events_emitted > 0, "the sampled arm recorded nothing"
     ratio = assert_disabled_overhead(result)
     assert ratio > 0.97
